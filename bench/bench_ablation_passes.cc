@@ -1,0 +1,51 @@
+// Ablation (Section 4 vs Section 6): the "conceptual" MFA evaluation performs
+// one subtree pass per filter occurrence; HyPE folds everything into a single
+// pass. Filter-heavy queries make the difference explicit.
+
+#include "bench_common.h"
+
+namespace {
+
+const char* const kQueries[] = {
+    // one filter per step
+    "department[name]/patient[pname]/visit[date]/treatment[medication]",
+    // filter re-triggered along a recursive descent
+    "department/patient/(parent/patient[visit/treatment/medication/"
+    "diagnosis/text() = 'heart disease'])*",
+    // the running example
+    "department/patient[(parent/patient)*/visit/treatment/medication/"
+    "diagnosis/text() = 'heart disease']/pname",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using smoqe::bench::Engine;
+  int qi = 0;
+  for (const char* query : kQueries) {
+    std::string base = "AblationPasses/Q" + std::to_string(++qi);
+    for (Engine engine : {Engine::kConceptual, Engine::kHype}) {
+      std::string name = base + "/" + smoqe::bench::EngineName(engine);
+      std::string q(query);
+      auto* b = benchmark::RegisterBenchmark(
+          name.c_str(),
+          [q, engine](benchmark::State& state) {
+            const smoqe::xml::Tree& tree =
+                smoqe::bench::HospitalDoc(static_cast<int>(state.range(0)));
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(
+                  smoqe::bench::RunEngineOnce(engine, q, tree));
+            }
+          });
+      b->ArgName("patients")->Unit(benchmark::kMillisecond);
+      // Conceptual evaluation is quadratic-ish; keep sizes moderate.
+      for (int i = 1; i <= 4; ++i) {
+        b->Arg(static_cast<int64_t>(smoqe::bench::BasePatients()) * i);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 8(a): XPath query with a filter returning a large set of nodes
+// (thousands of answers), evaluation time vs document size, for the JAXP
+// substitute, HyPE, OptHyPE and OptHyPE-C.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  smoqe::bench::RegisterFigure(
+      "Fig8a_filter_large_result",
+      "department/patient[visit/treatment/medication]",
+      {smoqe::bench::kJaxp, smoqe::bench::kHype, smoqe::bench::kOptHype,
+       smoqe::bench::kOptHypeC});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

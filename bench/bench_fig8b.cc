@@ -1,0 +1,18 @@
+// Figure 8(b): XPath query with filter conjunctions (hundreds of answers),
+// evaluation time vs document size.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  smoqe::bench::RegisterFigure(
+      "Fig8b_filter_conjunctions",
+      "department/patient[visit/treatment/medication/diagnosis/text() = "
+      "'heart disease' and visit/treatment/test and "
+      "address/city/text() = 'Edinburgh']",
+      {smoqe::bench::kJaxp, smoqe::bench::kHype, smoqe::bench::kOptHype,
+       smoqe::bench::kOptHypeC});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 8(c): XPath query with filter disjunctions, evaluation time vs
+// document size.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  smoqe::bench::RegisterFigure(
+      "Fig8c_filter_disjunctions",
+      "department/patient[visit/treatment/medication/diagnosis/text() = "
+      "'heart disease' or visit/treatment/medication/diagnosis/text() = "
+      "'diabetes' or address/city/text() = 'Istanbul']",
+      {smoqe::bench::kJaxp, smoqe::bench::kHype, smoqe::bench::kOptHype,
+       smoqe::bench::kOptHypeC});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 9(a): regular XPath with the Kleene star outside any filter
+// (ancestor-chain navigation), HyPE variants only -- conventional XPath
+// engines cannot evaluate general Kleene stars, which is the paper's point.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  smoqe::bench::RegisterFigure(
+      "Fig9a_star_outside_filter",
+      "department/patient/(parent/patient)*/visit/treatment/medication/"
+      "diagnosis[text() = 'heart disease']",
+      {smoqe::bench::kHype, smoqe::bench::kOptHype, smoqe::bench::kOptHypeC});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 9(b): regular XPath with a filter inside the Kleene star body.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  smoqe::bench::RegisterFigure(
+      "Fig9b_filter_inside_star",
+      "department/patient/(parent/patient[visit/treatment/medication])*/"
+      "pname",
+      {smoqe::bench::kHype, smoqe::bench::kOptHype, smoqe::bench::kOptHypeC});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

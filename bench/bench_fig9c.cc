@@ -1,0 +1,16 @@
+// Figure 9(c): regular XPath with the Kleene star inside a filter (the
+// ancestor-had-heart-disease pattern of the paper's running example).
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  smoqe::bench::RegisterFigure(
+      "Fig9c_star_in_filter",
+      "department/patient[(parent/patient)*/visit/treatment/medication/"
+      "diagnosis/text() = 'heart disease']/pname",
+      {smoqe::bench::kHype, smoqe::bench::kOptHype, smoqe::bench::kOptHypeC});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Section 7, GALAX comparison: evaluating regular XPath through the
+// XQuery-translation route (GALAX substitute) versus HyPE. The paper dropped
+// GALAX from its plots because "even for a simple regular XPath query on the
+// smallest used document tree, GALAX needed more time than HyPE for the same
+// query on the largest tree" -- this bench reproduces exactly that check.
+
+#include "bench_common.h"
+
+namespace {
+
+const char* const kQueries[] = {
+    "department/patient/(parent/patient)*",
+    "department/patient[(parent/patient)*/visit/treatment/medication/"
+    "diagnosis/text() = 'heart disease']/pname",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using smoqe::bench::Engine;
+  int small = smoqe::bench::BasePatients();
+  int large = 10 * small;
+  int qi = 0;
+  for (const char* query : kQueries) {
+    std::string base = "Galax_vs_HyPE/Q" + std::to_string(++qi);
+    for (auto [engine, patients] :
+         {std::pair<Engine, int>{Engine::kGalax, small},
+          {Engine::kGalax, large},
+          {Engine::kHype, small},
+          {Engine::kHype, large}}) {
+      std::string name = base + "/" + smoqe::bench::EngineName(engine);
+      std::string q(query);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [q, engine](benchmark::State& state) {
+            const smoqe::xml::Tree& tree =
+                smoqe::bench::HospitalDoc(static_cast<int>(state.range(0)));
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(
+                  smoqe::bench::RunEngineOnce(engine, q, tree));
+            }
+            state.counters["MB"] =
+                static_cast<double>(tree.ApproxByteSize()) / 1e6;
+          })
+          ->Arg(patients)
+          ->ArgName("patients")
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

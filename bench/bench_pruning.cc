@@ -1,0 +1,59 @@
+// Section 7 pruning statistics: fraction of element nodes HyPE never visits,
+// per example query and on average. The paper reports 78.2% for HyPE and 88%
+// for OptHyPE on its example queries.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+const char* const kQueries[] = {
+    // the six figure queries
+    "department/patient[visit/treatment/medication]",
+    "department/patient[visit/treatment/medication/diagnosis/text() = "
+    "'heart disease' and visit/treatment/test and "
+    "address/city/text() = 'Edinburgh']",
+    "department/patient[visit/treatment/medication/diagnosis/text() = "
+    "'heart disease' or visit/treatment/medication/diagnosis/text() = "
+    "'diabetes' or address/city/text() = 'Istanbul']",
+    "department/patient/(parent/patient)*/visit/treatment/medication/"
+    "diagnosis[text() = 'heart disease']",
+    "department/patient/(parent/patient[visit/treatment/medication])*/pname",
+    "department/patient[(parent/patient)*/visit/treatment/medication/"
+    "diagnosis/text() = 'heart disease']/pname",
+};
+
+}  // namespace
+
+int main() {
+  using smoqe::bench::Engine;
+  const smoqe::xml::Tree& tree =
+      smoqe::bench::HospitalDoc(5 * smoqe::bench::BasePatients());
+  std::printf("Pruning statistics (Section 7), %d elements, %.1f MB\n",
+              tree.CountElements(),
+              static_cast<double>(tree.ApproxByteSize()) / 1e6);
+  std::printf("%-6s  %-9s  %-9s  %-9s  query\n", "#", "HyPE%", "OptHyPE%",
+              "OptC%");
+  double sums[3] = {0, 0, 0};
+  int i = 0;
+  for (const char* query : kQueries) {
+    double pct[3];
+    Engine engines[3] = {Engine::kHype, Engine::kOptHype, Engine::kOptHypeC};
+    for (int e = 0; e < 3; ++e) {
+      smoqe::hype::EvalStats stats;
+      smoqe::bench::RunEngineOnce(engines[e], query, tree, &stats);
+      pct[e] = 100.0 * stats.PrunedFraction();
+      sums[e] += pct[e];
+    }
+    std::printf("Q%-5d  %-9.1f  %-9.1f  %-9.1f  %.60s...\n", ++i, pct[0],
+                pct[1], pct[2], query);
+  }
+  int n = static_cast<int>(std::size(kQueries));
+  std::printf("%-6s  %-9.1f  %-9.1f  %-9.1f  (paper: HyPE 78.2%%, OptHyPE "
+              "88%%)\n",
+              "avg", sums[0] / n, sums[1] / n, sums[2] / n);
+  return 0;
+}

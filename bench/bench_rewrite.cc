@@ -1,0 +1,81 @@
+// Theorem 5.1: Algorithm rewrite runs in O(|Q|^2 |sigma| |D_V|^2) time and
+// produces an MFA of size O(|Q| |sigma| |D_V|). We grow |Q| along three query
+// families over the hospital view and report rewriting time plus MFA size.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "gen/fixtures.h"
+#include "rewrite/rewriter.h"
+#include "view/view_def.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace {
+
+const smoqe::view::ViewDef& Hospital() {
+  static const smoqe::view::ViewDef* def =
+      new smoqe::view::ViewDef(smoqe::gen::HospitalView());
+  return *def;
+}
+
+std::string ChainQuery(int n) {
+  std::string q = "patient";
+  for (int i = 1; i < n; ++i) q += i % 2 == 1 ? "/parent" : "/patient";
+  return q;
+}
+
+std::string FilterQuery(int n) {
+  std::string q = "patient";
+  for (int i = 0; i < n; ++i) q += "[record/diagnosis]";
+  return q;
+}
+
+std::string StarQuery(int n) {
+  std::string q = "(patient/parent)*";
+  for (int i = 1; i < n; ++i) q += "/patient/(parent/patient)*";
+  return q;
+}
+
+void RunRewrite(benchmark::State& state, const std::string& query) {
+  auto q = smoqe::xpath::ParseQuery(query);
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  int64_t mfa_size = 0;
+  for (auto _ : state) {
+    auto mfa = smoqe::rewrite::RewriteToMfa(q.value(), Hospital());
+    if (!mfa.ok()) {
+      state.SkipWithError(mfa.status().ToString().c_str());
+      return;
+    }
+    mfa_size = mfa.value().SizeMeasure();
+    benchmark::DoNotOptimize(mfa);
+  }
+  state.counters["Q_size"] =
+      static_cast<double>(smoqe::xpath::ExpandedSize(q.value()));
+  state.counters["mfa_size"] = static_cast<double>(mfa_size);
+  state.counters["mfa_per_Q"] =
+      static_cast<double>(mfa_size) /
+      static_cast<double>(smoqe::xpath::ExpandedSize(q.value()));
+}
+
+void BM_RewriteChain(benchmark::State& state) {
+  RunRewrite(state, ChainQuery(static_cast<int>(state.range(0))));
+}
+void BM_RewriteFilters(benchmark::State& state) {
+  RunRewrite(state, FilterQuery(static_cast<int>(state.range(0))));
+}
+void BM_RewriteStars(benchmark::State& state) {
+  RunRewrite(state, StarQuery(static_cast<int>(state.range(0))));
+}
+
+BENCHMARK(BM_RewriteChain)->DenseRange(2, 20, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RewriteFilters)->DenseRange(1, 16, 3)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RewriteStars)->DenseRange(1, 10, 3)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

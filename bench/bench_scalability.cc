@@ -1,0 +1,37 @@
+// Theorem 6.2: linear data complexity. HyPE's time per element node must stay
+// flat as |T| grows (items_per_second reports elements/s; a linear algorithm
+// keeps it roughly constant across the size series).
+
+#include "bench_common.h"
+
+namespace {
+
+const char* const kQuery =
+    "department/patient[(parent/patient)*/visit/treatment/medication/"
+    "diagnosis/text() = 'heart disease']/pname";
+
+void BM_HypeScaling(benchmark::State& state) {
+  const smoqe::xml::Tree& tree =
+      smoqe::bench::HospitalDoc(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smoqe::bench::RunEngineOnce(smoqe::bench::kHype, kQuery, tree));
+  }
+  state.SetItemsProcessed(state.iterations() * tree.CountElements());
+  state.counters["MB"] = static_cast<double>(tree.ApproxByteSize()) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto* b = benchmark::RegisterBenchmark("Thm62_linear_data_complexity",
+                                         BM_HypeScaling);
+  b->ArgName("patients")->Unit(benchmark::kMillisecond);
+  for (int i = 1; i <= 10; ++i) {
+    b->Arg(static_cast<int64_t>(smoqe::bench::BasePatients()) * i);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Access control with security views (the paper's Section 1 scenario): one
+// source document, several user groups, each confined to its own virtual
+// view. Queries are rewritten -- never evaluated on materialized data -- and
+// the example demonstrates the security property: the research group cannot
+// reach sibling records even with descendant queries, while a naive
+// '//'-preserving translation would leak them.
+
+#include <cstdio>
+
+#include "eval/naive_evaluator.h"
+#include "gen/fixtures.h"
+#include "gen/hospital_generator.h"
+#include "hype/hype.h"
+#include "rewrite/rewriter.h"
+#include "view/view_parser.h"
+#include "xpath/parser.h"
+
+namespace {
+
+bool UnderSibling(const smoqe::xml::Tree& t, smoqe::xml::NodeId n) {
+  for (smoqe::xml::NodeId a = n; a != smoqe::xml::kNullNode; a = t.parent(a)) {
+    if (t.is_element(a) && t.label_name(a) == "sibling") return true;
+  }
+  return false;
+}
+
+int CountLeaks(const smoqe::xml::Tree& t,
+               const std::vector<smoqe::xml::NodeId>& nodes) {
+  int leaks = 0;
+  for (smoqe::xml::NodeId n : nodes) leaks += UnderSibling(t, n) ? 1 : 0;
+  return leaks;
+}
+
+}  // namespace
+
+int main() {
+  smoqe::gen::HospitalParams params;
+  params.patients = 150;
+  params.sibling_prob = 0.6;
+  params.heart_disease_prob = 0.3;
+  params.seed = 7;
+  smoqe::xml::Tree source = smoqe::gen::GenerateHospital(params);
+
+  // Group 1: the research institute (sigma_0) -- may see heart-disease
+  // patients and their ancestor records, NOT siblings, names or doctors.
+  smoqe::view::ViewDef research = smoqe::gen::HospitalView();
+
+  // The user asks for every diagnosis reachable in their view.
+  auto query = smoqe::xpath::ParseQuery("//diagnosis");
+  auto mfa = smoqe::rewrite::RewriteToMfa(query.value(), research);
+  if (!mfa.ok()) return 1;
+  smoqe::hype::HypeEvaluator eval(source, mfa.value());
+  auto answers = eval.Eval(source.root());
+  std::printf("research group, //diagnosis: %zu nodes, %d under <sibling>\n",
+              answers.size(), CountLeaks(source, answers));
+
+  // The INSECURE translation an ad-hoc implementation might produce: keep
+  // '//' on the source. It returns sibling diagnoses -- a privacy breach.
+  auto insecure = smoqe::xpath::ParseQuery(
+      "department/patient[visit/treatment/medication/diagnosis/text() = "
+      "'heart disease']//diagnosis");
+  auto leaked =
+      smoqe::eval::NaiveEvaluator(source).Eval(insecure.value(), source.root());
+  std::printf("naive '//'-preserving translation: %zu nodes, %d under "
+              "<sibling>  <-- the leak (Example 1.1)\n",
+              leaked.size(), CountLeaks(source, leaked));
+
+  // Group 2: billing -- sees only account names and visit dates.
+  auto billing = smoqe::view::ParseView(R"(
+view billing {
+  source dtd hospital {
+    hospital   -> department* ;
+    department -> name, address, patient* ;
+    name       -> #text ;
+    address    -> street, city, zip ;
+    street     -> #text ;
+    city       -> #text ;
+    zip        -> #text ;
+    patient    -> pname, address, visit*, parent*, sibling* ;
+    pname      -> #text ;
+    visit      -> date, treatment, doctor ;
+    date       -> #text ;
+    treatment  -> test + medication ;
+    test       -> type ;
+    medication -> type, diagnosis ;
+    type       -> #text ;
+    diagnosis  -> #text ;
+    doctor     -> dname, specialty ;
+    dname      -> #text ;
+    specialty  -> #text ;
+    parent     -> patient ;
+    sibling    -> patient ;
+  }
+  view dtd bills {
+    bills   -> account* ;
+    account -> pname, charge* ;
+    pname   -> #text ;
+    charge  -> date ;
+    date    -> #text ;
+  }
+  sigma {
+    bills.account  = "department/patient" ;
+    account.pname  = "pname" ;
+    account.charge = "visit" ;
+    charge.date    = "date" ;
+  }
+}
+)");
+  if (!billing.ok()) {
+    std::fprintf(stderr, "%s\n", billing.status().ToString().c_str());
+    return 1;
+  }
+  auto bq = smoqe::xpath::ParseQuery("account[charge]/pname");
+  auto bmfa = smoqe::rewrite::RewriteToMfa(bq.value(), billing.value());
+  if (!bmfa.ok()) return 1;
+  smoqe::hype::HypeEvaluator beval(source, bmfa.value());
+  std::printf("billing group, account[charge]/pname: %zu accounts\n",
+              beval.Eval(source.root()).size());
+
+  // A query about diagnoses is meaningless in the billing view: it rewrites
+  // to an automaton that selects nothing, rather than leaking data.
+  auto forbidden = smoqe::xpath::ParseQuery("//diagnosis");
+  auto fmfa = smoqe::rewrite::RewriteToMfa(forbidden.value(), billing.value());
+  if (!fmfa.ok()) return 1;
+  smoqe::hype::HypeEvaluator feval(source, fmfa.value());
+  std::printf("billing group, //diagnosis: %zu nodes (view hides them)\n",
+              feval.Eval(source.root()).size());
+  return 0;
+}

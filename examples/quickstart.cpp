@@ -1,0 +1,66 @@
+// Quickstart: parse an XML document, run a regular XPath query with HyPE.
+//
+//   $ ./quickstart
+//
+// Shows the three-line happy path of the library: ParseXml -> ParseQuery ->
+// CompileQuery + HypeEvaluator.
+
+#include <cstdio>
+
+#include "automata/compiler.h"
+#include "hype/hype.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xpath/parser.h"
+
+int main() {
+  // 1. An XML document (the paper's Fig. 4 family tree, abridged).
+  const char* xml = R"(
+    <hospital>
+      <patient>
+        <parent><patient>
+          <record><diagnosis>lung disease</diagnosis></record>
+        </patient></parent>
+        <record><diagnosis>brain disease</diagnosis></record>
+      </patient>
+      <patient>
+        <parent><patient>
+          <record><diagnosis>heart disease</diagnosis></record>
+        </patient></parent>
+        <record><diagnosis>lung disease</diagnosis></record>
+      </patient>
+    </hospital>
+  )";
+  auto tree = smoqe::xml::ParseXml(xml);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", tree.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. A regular XPath query: patients with an ancestor diagnosed with heart
+  //    disease (Kleene star -- not expressible in plain XPath).
+  auto query = smoqe::xpath::ParseQuery(
+      "(patient/parent)*/patient"
+      "[(parent/patient)*/record/diagnosis/text() = 'heart disease']");
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Compile to an MFA and evaluate with HyPE (one pass over the tree).
+  smoqe::automata::Mfa mfa = smoqe::automata::CompileQuery(query.value());
+  smoqe::hype::HypeEvaluator eval(tree.value(), mfa);
+  std::vector<smoqe::xml::NodeId> answers = eval.Eval(tree.value().root());
+
+  std::printf("%zu answer(s):\n", answers.size());
+  for (smoqe::xml::NodeId n : answers) {
+    std::printf("--- node %d ---\n%s\n", n,
+                smoqe::xml::WriteXml(tree.value(), n).c_str());
+  }
+  std::printf("visited %lld of %lld elements (%.1f%% pruned)\n",
+              static_cast<long long>(eval.stats().elements_visited),
+              static_cast<long long>(eval.stats().elements_total),
+              100.0 * eval.stats().PrunedFraction());
+  return 0;
+}

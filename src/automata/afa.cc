@@ -1,0 +1,120 @@
+#include "automata/afa.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace smoqe::automata {
+
+bool FinalPredHolds(const AfaState& s, const xml::Tree& tree, xml::NodeId node) {
+  switch (s.pred) {
+    case PredKind::kNone:
+      return true;
+    case PredKind::kTextEquals:
+      return tree.HasText(node, s.text);
+    case PredKind::kPositionEquals:
+      return tree.child_index(node) == s.position;
+  }
+  return false;
+}
+
+namespace {
+
+struct PairHash {
+  size_t operator()(const std::pair<StateId, xml::NodeId>& p) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(p.first) << 32) ^
+                                static_cast<uint32_t>(p.second));
+  }
+};
+
+}  // namespace
+
+bool EvalAfaNaive(const Mfa& mfa, const std::vector<LabelId>& binding,
+                  const xml::Tree& tree, StateId entry, xml::NodeId node) {
+  using Key = std::pair<StateId, xml::NodeId>;
+  std::unordered_map<Key, bool, PairHash> value;
+
+  // Phase 1: collect all requested (state, node) pairs.
+  std::vector<Key> work = {{entry, node}};
+  value[{entry, node}] = false;
+  std::vector<Key> requested;
+  while (!work.empty()) {
+    auto [s, n] = work.back();
+    work.pop_back();
+    requested.push_back({s, n});
+    const AfaState& st = mfa.afa[s];
+    auto request = [&](StateId s2, xml::NodeId n2) {
+      Key k{s2, n2};
+      if (value.emplace(k, false).second) work.push_back(k);
+    };
+    switch (st.kind) {
+      case AfaKind::kAnd:
+      case AfaKind::kOr:
+      case AfaKind::kNot:
+        for (StateId o : st.operands) request(o, n);
+        break;
+      case AfaKind::kTrans:
+        for (xml::NodeId c = tree.first_child(n); c != xml::kNullNode;
+             c = tree.next_sibling(c)) {
+          if (!tree.is_element(c)) continue;
+          if (st.wildcard || binding[st.label] == tree.label(c)) {
+            request(st.target, c);
+          }
+        }
+        break;
+      case AfaKind::kFinal:
+        break;
+    }
+  }
+
+  // Phase 2: chaotic iteration to the stratified fixpoint. Monotone parts
+  // converge in <= |requested| rounds; each NOT flips at most once after its
+  // operand stabilizes, so (#NOT strata + 1) * |requested| rounds suffice.
+  bool changed = true;
+  size_t rounds = 0;
+  const size_t cap = (requested.size() + 2) * (requested.size() + 2);
+  while (changed) {
+    changed = false;
+    assert(++rounds <= cap && "AFA fixpoint failed to converge");
+    (void)rounds;
+    (void)cap;
+    for (const Key& k : requested) {
+      auto [s, n] = k;
+      const AfaState& st = mfa.afa[s];
+      bool v = false;
+      switch (st.kind) {
+        case AfaKind::kFinal:
+          v = FinalPredHolds(st, tree, n);
+          break;
+        case AfaKind::kTrans:
+          for (xml::NodeId c = tree.first_child(n);
+               c != xml::kNullNode && !v; c = tree.next_sibling(c)) {
+            if (!tree.is_element(c)) continue;
+            if (st.wildcard || binding[st.label] == tree.label(c)) {
+              v = value[{st.target, c}];
+            }
+          }
+          break;
+        case AfaKind::kOr:
+          for (StateId o : st.operands) v = v || value[{o, n}];
+          break;
+        case AfaKind::kAnd:
+          v = true;
+          for (StateId o : st.operands) v = v && value[{o, n}];
+          break;
+        case AfaKind::kNot:
+          v = !value[{st.operands[0], n}];
+          break;
+      }
+      bool& slot = value[k];
+      if (slot != v) {
+        slot = v;
+        changed = true;
+      }
+    }
+  }
+  return value[{entry, node}];
+}
+
+}  // namespace smoqe::automata

@@ -1,0 +1,34 @@
+// Reference AFA truth evaluation (used by the conceptual evaluator, tests
+// and as the specification HyPE's synthesized evaluation must match).
+//
+// The truth X(n, s) of AFA state s at tree node n is the least fixpoint of
+//   final:  predicate holds at n (no predicate = true)
+//   trans:  some element child c of n with a matching label has X(c, target)
+//   OR:     some operand true at n;  AND: all operands true at n
+//   NOT:    operand false at n
+// Cycles pass only through OR/transition states (split property), so the
+// system is stratified and the fixpoint is well-defined.
+
+#ifndef SMOQE_AUTOMATA_AFA_H_
+#define SMOQE_AUTOMATA_AFA_H_
+
+#include <vector>
+
+#include "automata/mfa.h"
+#include "xml/tree.h"
+
+namespace smoqe::automata {
+
+/// True iff the final-state predicate of `s` holds at `node`.
+bool FinalPredHolds(const AfaState& s, const xml::Tree& tree, xml::NodeId node);
+
+/// Evaluates X(node, entry) by collecting all requested (state, node) pairs
+/// in the subtree and chaotically iterating to the stratified fixpoint.
+/// Deliberately simple; one full (sub)tree pass per call, like the
+/// "conceptual evaluation" of Section 4.
+bool EvalAfaNaive(const Mfa& mfa, const std::vector<LabelId>& binding,
+                  const xml::Tree& tree, StateId entry, xml::NodeId node);
+
+}  // namespace smoqe::automata
+
+#endif  // SMOQE_AUTOMATA_AFA_H_

@@ -1,0 +1,198 @@
+#include "automata/compiler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace smoqe::automata {
+
+StateId MfaBuilder::NewNfaState() {
+  mfa_.nfa.emplace_back();
+  return static_cast<StateId>(mfa_.nfa.size() - 1);
+}
+
+void MfaBuilder::AddEps(StateId from, StateId to) {
+  mfa_.nfa[from].eps.push_back(to);
+}
+
+void MfaBuilder::AddTrans(StateId from, std::string_view label, bool wildcard,
+                          StateId to) {
+  NfaTransition t;
+  t.wildcard = wildcard;
+  t.label = wildcard ? kNoLabel : mfa_.labels.Intern(label);
+  t.to = to;
+  mfa_.nfa[from].trans.push_back(t);
+}
+
+void MfaBuilder::Annotate(StateId s, StateId afa_entry) {
+  // A state can carry at most one annotation (the paper's lambda is a partial
+  // map to a single X_i); callers needing a conjunction insert an eps step.
+  assert(mfa_.nfa[s].afa_entry == kNoState);
+  mfa_.nfa[s].afa_entry = afa_entry;
+}
+
+void MfaBuilder::MarkFinal(StateId s) { mfa_.nfa[s].is_final = true; }
+
+StateId MfaBuilder::NewOr(std::vector<StateId> operands) {
+  AfaState a;
+  a.kind = AfaKind::kOr;
+  a.operands = std::move(operands);
+  mfa_.afa.push_back(std::move(a));
+  return static_cast<StateId>(mfa_.afa.size() - 1);
+}
+
+StateId MfaBuilder::NewAnd(std::vector<StateId> operands) {
+  AfaState a;
+  a.kind = AfaKind::kAnd;
+  a.operands = std::move(operands);
+  mfa_.afa.push_back(std::move(a));
+  return static_cast<StateId>(mfa_.afa.size() - 1);
+}
+
+StateId MfaBuilder::NewNot(StateId operand) {
+  AfaState a;
+  a.kind = AfaKind::kNot;
+  a.operands = {operand};
+  mfa_.afa.push_back(std::move(a));
+  return static_cast<StateId>(mfa_.afa.size() - 1);
+}
+
+StateId MfaBuilder::NewAfaTrans(std::string_view label, bool wildcard,
+                                StateId target) {
+  AfaState a;
+  a.kind = AfaKind::kTrans;
+  a.wildcard = wildcard;
+  a.label = wildcard ? kNoLabel : mfa_.labels.Intern(label);
+  a.target = target;
+  mfa_.afa.push_back(std::move(a));
+  return static_cast<StateId>(mfa_.afa.size() - 1);
+}
+
+StateId MfaBuilder::NewFinal(PredKind pred, std::string text, int position) {
+  AfaState a;
+  a.kind = AfaKind::kFinal;
+  a.pred = pred;
+  a.text = std::move(text);
+  a.position = position;
+  mfa_.afa.push_back(std::move(a));
+  return static_cast<StateId>(mfa_.afa.size() - 1);
+}
+
+void MfaBuilder::SetOrOperands(StateId or_state, std::vector<StateId> operands) {
+  assert(mfa_.afa[or_state].kind == AfaKind::kOr);
+  mfa_.afa[or_state].operands = std::move(operands);
+}
+
+MfaBuilder::Frag MfaBuilder::BuildSelecting(const xpath::PathPtr& p) {
+  using xpath::PathKind;
+  switch (p->kind) {
+    case PathKind::kEmpty: {
+      StateId s = NewNfaState();
+      return {s, s};
+    }
+    case PathKind::kLabel: {
+      StateId entry = NewNfaState();
+      StateId exit = NewNfaState();
+      AddTrans(entry, p->label, /*wildcard=*/false, exit);
+      return {entry, exit};
+    }
+    case PathKind::kWildcard: {
+      StateId entry = NewNfaState();
+      StateId exit = NewNfaState();
+      AddTrans(entry, "", /*wildcard=*/true, exit);
+      return {entry, exit};
+    }
+    case PathKind::kSeq: {
+      Frag f1 = BuildSelecting(p->left);
+      Frag f2 = BuildSelecting(p->right);
+      AddEps(f1.exit, f2.entry);
+      return {f1.entry, f2.exit};
+    }
+    case PathKind::kUnion: {
+      StateId entry = NewNfaState();
+      StateId exit = NewNfaState();
+      Frag f1 = BuildSelecting(p->left);
+      Frag f2 = BuildSelecting(p->right);
+      AddEps(entry, f1.entry);
+      AddEps(entry, f2.entry);
+      AddEps(f1.exit, exit);
+      AddEps(f2.exit, exit);
+      return {entry, exit};
+    }
+    case PathKind::kStar: {
+      StateId entry = NewNfaState();
+      StateId exit = NewNfaState();
+      Frag body = BuildSelecting(p->left);
+      AddEps(entry, body.entry);
+      AddEps(entry, exit);
+      AddEps(body.exit, body.entry);
+      AddEps(body.exit, exit);
+      return {entry, exit};
+    }
+    case PathKind::kFilter: {
+      Frag f = BuildSelecting(p->left);
+      StateId guard = NewNfaState();
+      Annotate(guard, BuildFilterAfa(p->filter));
+      AddEps(f.exit, guard);
+      return {f.entry, guard};
+    }
+  }
+  return {};
+}
+
+StateId MfaBuilder::BuildFilterAfa(const xpath::FilterPtr& f) {
+  using xpath::FilterKind;
+  switch (f->kind) {
+    case FilterKind::kPath:
+      return BuildAfaPath(f->path, NewFinal(PredKind::kNone));
+    case FilterKind::kTextEquals:
+      return BuildAfaPath(f->path, NewFinal(PredKind::kTextEquals, f->text));
+    case FilterKind::kPositionEquals:
+      return NewFinal(PredKind::kPositionEquals, "", f->position);
+    case FilterKind::kNot:
+      return NewNot(BuildFilterAfa(f->left));
+    case FilterKind::kAnd:
+      return NewAnd({BuildFilterAfa(f->left), BuildFilterAfa(f->right)});
+    case FilterKind::kOr:
+      return NewOr({BuildFilterAfa(f->left), BuildFilterAfa(f->right)});
+  }
+  return kNoState;
+}
+
+StateId MfaBuilder::BuildAfaPath(const xpath::PathPtr& p, StateId cont) {
+  using xpath::PathKind;
+  switch (p->kind) {
+    case PathKind::kEmpty:
+      return cont;
+    case PathKind::kLabel:
+      return NewAfaTrans(p->label, /*wildcard=*/false, cont);
+    case PathKind::kWildcard:
+      return NewAfaTrans("", /*wildcard=*/true, cont);
+    case PathKind::kSeq:
+      return BuildAfaPath(p->left, BuildAfaPath(p->right, cont));
+    case PathKind::kUnion:
+      return NewOr({BuildAfaPath(p->left, cont), BuildAfaPath(p->right, cont)});
+    case PathKind::kStar: {
+      StateId loop = NewOr({});
+      StateId body = BuildAfaPath(p->left, loop);
+      SetOrOperands(loop, {cont, body});
+      return loop;
+    }
+    case PathKind::kFilter: {
+      StateId inner = BuildFilterAfa(p->filter);
+      StateId joint = NewAnd({inner, cont});
+      return BuildAfaPath(p->left, joint);
+    }
+  }
+  return kNoState;
+}
+
+Mfa CompileQuery(const xpath::PathPtr& q) {
+  Mfa mfa;
+  MfaBuilder builder(&mfa);
+  MfaBuilder::Frag frag = builder.BuildSelecting(q);
+  mfa.start = frag.entry;
+  builder.MarkFinal(frag.exit);
+  return mfa;
+}
+
+}  // namespace smoqe::automata

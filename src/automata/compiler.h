@@ -1,0 +1,66 @@
+// Compilation of Xreg queries into MFAs (the document-level construction
+// underlying both standalone evaluation and Algorithm rewrite).
+//
+// Selecting paths follow a Thompson-style construction; each filter becomes
+// an AFA fragment in the MFA's shared arena. Filters nested in paths attach
+// through an AND joint (the "concatenate, don't nest" rule of Section 5), so
+// one query yields one flat AFA arena regardless of nesting depth.
+
+#ifndef SMOQE_AUTOMATA_COMPILER_H_
+#define SMOQE_AUTOMATA_COMPILER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "automata/mfa.h"
+#include "xpath/ast.h"
+
+namespace smoqe::automata {
+
+/// Incremental MFA construction. The rewriter drives this same builder when
+/// it instantiates source-level fragments for view annotations.
+class MfaBuilder {
+ public:
+  explicit MfaBuilder(Mfa* mfa) : mfa_(*mfa) {}
+
+  struct Frag {
+    StateId entry = kNoState;
+    StateId exit = kNoState;
+  };
+
+  // -- low-level selecting-NFA construction --
+  StateId NewNfaState();
+  void AddEps(StateId from, StateId to);
+  void AddTrans(StateId from, std::string_view label, bool wildcard, StateId to);
+  void Annotate(StateId s, StateId afa_entry);
+  void MarkFinal(StateId s);
+
+  // -- low-level AFA construction --
+  StateId NewOr(std::vector<StateId> operands);
+  StateId NewAnd(std::vector<StateId> operands);
+  StateId NewNot(StateId operand);
+  StateId NewAfaTrans(std::string_view label, bool wildcard, StateId target);
+  StateId NewFinal(PredKind pred, std::string text = "", int position = 0);
+  void SetOrOperands(StateId or_state, std::vector<StateId> operands);
+
+  // -- structural construction from ASTs --
+
+  /// Thompson fragment for a selecting path (filters become AFAs).
+  Frag BuildSelecting(const xpath::PathPtr& p);
+
+  /// AFA entry for a filter, evaluated at the node the filter guards.
+  StateId BuildFilterAfa(const xpath::FilterPtr& f);
+
+  /// AFA entry for "some node reachable via `p` satisfies `cont`".
+  StateId BuildAfaPath(const xpath::PathPtr& p, StateId cont);
+
+ private:
+  Mfa& mfa_;
+};
+
+/// Compiles a whole query: start state, final exit, all filters.
+Mfa CompileQuery(const xpath::PathPtr& q);
+
+}  // namespace smoqe::automata
+
+#endif  // SMOQE_AUTOMATA_COMPILER_H_

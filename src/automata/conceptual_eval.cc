@@ -1,0 +1,74 @@
+#include "automata/conceptual_eval.h"
+
+#include <algorithm>
+
+#include "automata/afa.h"
+
+namespace smoqe::automata {
+
+ConceptualEvaluator::ConceptualEvaluator(const xml::Tree& tree, const Mfa& mfa)
+    : tree_(tree), mfa_(mfa) {
+  binding_.resize(mfa_.labels.size());
+  for (LabelId l = 0; l < mfa_.labels.size(); ++l) {
+    binding_[l] = tree_.labels().Lookup(mfa_.labels.name(l));
+  }
+}
+
+std::vector<StateId> ConceptualEvaluator::ValidClosure(
+    std::vector<StateId> states, xml::NodeId node) {
+  // Expand ε-edges, but only through states whose annotation evaluates true
+  // at `node`: a run may occupy a state only if its filter holds there.
+  std::vector<bool> seen(mfa_.nfa.size(), false);
+  std::vector<StateId> valid;
+  std::vector<StateId> work;
+  auto admit = [&](StateId s) {
+    if (seen[s]) return;
+    seen[s] = true;
+    StateId entry = mfa_.nfa[s].afa_entry;
+    if (entry != kNoState) {
+      ++afa_passes_;
+      if (!EvalAfaNaive(mfa_, binding_, tree_, entry, node)) return;
+    }
+    valid.push_back(s);
+    work.push_back(s);
+  };
+  for (StateId s : states) admit(s);
+  while (!work.empty()) {
+    StateId s = work.back();
+    work.pop_back();
+    for (StateId e : mfa_.nfa[s].eps) admit(e);
+  }
+  std::sort(valid.begin(), valid.end());
+  return valid;
+}
+
+void ConceptualEvaluator::Visit(xml::NodeId node,
+                                const std::vector<StateId>& states,
+                                std::vector<xml::NodeId>* out) {
+  for (StateId s : states) {
+    if (mfa_.nfa[s].is_final) {
+      out->push_back(node);
+      break;
+    }
+  }
+  for (xml::NodeId c = tree_.first_child(node); c != xml::kNullNode;
+       c = tree_.next_sibling(c)) {
+    if (!tree_.is_element(c)) continue;
+    std::vector<StateId> moved = Move(mfa_, states, binding_, tree_.label(c));
+    if (moved.empty()) continue;
+    std::vector<StateId> next = ValidClosure(std::move(moved), c);
+    if (!next.empty()) Visit(c, next, out);
+  }
+}
+
+std::vector<xml::NodeId> ConceptualEvaluator::Eval(xml::NodeId context) {
+  afa_passes_ = 0;
+  std::vector<xml::NodeId> out;
+  std::vector<StateId> start = ValidClosure({mfa_.start}, context);
+  if (!start.empty()) Visit(context, start, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace smoqe::automata

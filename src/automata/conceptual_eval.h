@@ -1,0 +1,46 @@
+// The "conceptual evaluation" of MFAs from Section 4: a top-down run of the
+// selecting NFA that, whenever an annotated state is reached, evaluates the
+// AFA with a separate pass over the subtree (one pass per filter occurrence).
+//
+// This is the specification-level evaluator: correct, simple, and with the
+// multi-pass cost profile HyPE (Section 6) was designed to avoid. It serves
+// as an oracle in tests and as the ablation baseline bench_ablation_passes.
+
+#ifndef SMOQE_AUTOMATA_CONCEPTUAL_EVAL_H_
+#define SMOQE_AUTOMATA_CONCEPTUAL_EVAL_H_
+
+#include <vector>
+
+#include "automata/mfa.h"
+#include "xml/tree.h"
+
+namespace smoqe::automata {
+
+class ConceptualEvaluator {
+ public:
+  ConceptualEvaluator(const xml::Tree& tree, const Mfa& mfa);
+
+  /// n[[M]]: sorted node ids reachable at a final state through a run whose
+  /// annotated states all have true AFAs.
+  std::vector<xml::NodeId> Eval(xml::NodeId context);
+
+  /// Number of AFA evaluations performed by the last Eval (each is a separate
+  /// subtree pass -- the cost HyPE's single pass eliminates).
+  int64_t afa_passes() const { return afa_passes_; }
+
+ private:
+  /// ε-closure keeping only states whose annotation holds at `node`.
+  std::vector<StateId> ValidClosure(std::vector<StateId> states,
+                                    xml::NodeId node);
+  void Visit(xml::NodeId node, const std::vector<StateId>& states,
+             std::vector<xml::NodeId>* out);
+
+  const xml::Tree& tree_;
+  const Mfa& mfa_;
+  std::vector<LabelId> binding_;  // MFA label id -> tree label id
+  int64_t afa_passes_ = 0;
+};
+
+}  // namespace smoqe::automata
+
+#endif  // SMOQE_AUTOMATA_CONCEPTUAL_EVAL_H_

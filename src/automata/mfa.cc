@@ -1,0 +1,227 @@
+#include "automata/mfa.h"
+
+#include <algorithm>
+
+namespace smoqe::automata {
+
+int64_t Mfa::SizeMeasure() const {
+  int64_t size = 0;
+  for (const NfaState& s : nfa) {
+    size += 1 + static_cast<int64_t>(s.trans.size() + s.eps.size());
+  }
+  for (const AfaState& s : afa) {
+    size += 1 + static_cast<int64_t>(s.operands.size()) +
+            (s.kind == AfaKind::kTrans ? 1 : 0);
+  }
+  return size;
+}
+
+std::string Mfa::ToDot() const {
+  std::string out = "digraph mfa {\n  rankdir=LR;\n";
+  auto nfa_name = [](StateId s) { return "n" + std::to_string(s); };
+  auto afa_name = [](StateId s) { return "a" + std::to_string(s); };
+  for (StateId s = 0; s < num_nfa_states(); ++s) {
+    out += "  " + nfa_name(s) + " [label=\"s" + std::to_string(s) + "\"";
+    if (nfa[s].is_final) out += ", shape=doublecircle";
+    out += "];\n";
+    if (nfa[s].afa_entry != kNoState) {
+      out += "  " + nfa_name(s) + " -> " + afa_name(nfa[s].afa_entry) +
+             " [style=dotted, label=\"lambda\"];\n";
+    }
+    for (const NfaTransition& t : nfa[s].trans) {
+      out += "  " + nfa_name(s) + " -> " + nfa_name(t.to) + " [label=\"" +
+             (t.wildcard ? std::string("*") : labels.name(t.label)) + "\"];\n";
+    }
+    for (StateId e : nfa[s].eps) {
+      out += "  " + nfa_name(s) + " -> " + nfa_name(e) + " [label=\"eps\"];\n";
+    }
+  }
+  for (StateId s = 0; s < num_afa_states(); ++s) {
+    const AfaState& a = afa[s];
+    std::string label;
+    switch (a.kind) {
+      case AfaKind::kAnd: label = "AND"; break;
+      case AfaKind::kOr: label = "OR"; break;
+      case AfaKind::kNot: label = "NOT"; break;
+      case AfaKind::kTrans: label = "trans"; break;
+      case AfaKind::kFinal:
+        label = "final";
+        if (a.pred == PredKind::kTextEquals) label += " text=" + a.text;
+        if (a.pred == PredKind::kPositionEquals) {
+          label += " pos=" + std::to_string(a.position);
+        }
+        break;
+    }
+    out += "  " + afa_name(s) + " [shape=box, style=dashed, label=\"" + label +
+           "\"];\n";
+    if (a.kind == AfaKind::kTrans) {
+      out += "  " + afa_name(s) + " -> " + afa_name(a.target) + " [label=\"" +
+             (a.wildcard ? std::string("*") : labels.name(a.label)) + "\"];\n";
+    }
+    for (StateId o : a.operands) {
+      out += "  " + afa_name(s) + " -> " + afa_name(o) + " [label=\"eps\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+void EpsClosure(const Mfa& mfa, std::vector<StateId>* states) {
+  std::vector<StateId> work(*states);
+  std::vector<bool> seen(mfa.nfa.size(), false);
+  for (StateId s : work) seen[s] = true;
+  while (!work.empty()) {
+    StateId s = work.back();
+    work.pop_back();
+    for (StateId e : mfa.nfa[s].eps) {
+      if (!seen[e]) {
+        seen[e] = true;
+        states->push_back(e);
+        work.push_back(e);
+      }
+    }
+  }
+  std::sort(states->begin(), states->end());
+}
+
+std::vector<StateId> Move(const Mfa& mfa, const std::vector<StateId>& states,
+                          const std::vector<LabelId>& binding,
+                          LabelId tree_label) {
+  std::vector<StateId> out;
+  for (StateId s : states) {
+    for (const NfaTransition& t : mfa.nfa[s].trans) {
+      if (t.wildcard || (t.label != kNoLabel && binding[t.label] == tree_label)) {
+        out.push_back(t.to);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool HasSplitProperty(const Mfa& mfa) {
+  // Find every AFA state on a cycle (Tarjan SCCs of size > 1, or with a
+  // self-loop) and require it to be monotone (not NOT). AND/OR/transition
+  // states on cycles keep the truth system a monotone least fixpoint;
+  // only negation must be stratified.
+  int n = mfa.num_afa_states();
+  std::vector<int> index(n, -1), low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<StateId> stack;
+  int next_index = 0;
+  auto edges = [&](StateId s) {
+    std::vector<StateId> out = mfa.afa[s].operands;
+    if (mfa.afa[s].kind == AfaKind::kTrans && mfa.afa[s].target != kNoState) {
+      out.push_back(mfa.afa[s].target);
+    }
+    return out;
+  };
+  struct Frame {
+    StateId state;
+    size_t edge = 0;
+    std::vector<StateId> succ;
+  };
+  for (StateId root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root, 0, edges(root)});
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < f.succ.size()) {
+        StateId w = f.succ[f.edge++];
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0, edges(w)});
+        } else if (on_stack[w]) {
+          low[f.state] = std::min(low[f.state], index[w]);
+        }
+      } else {
+        StateId v = f.state;
+        if (low[v] == index[v]) {
+          std::vector<StateId> scc;
+          for (;;) {
+            StateId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          bool cyclic = scc.size() > 1;
+          if (!cyclic) {
+            for (StateId w : edges(v)) {
+              if (w == v) cyclic = true;
+            }
+          }
+          if (cyclic) {
+            for (StateId w : scc) {
+              if (mfa.afa[w].kind == AfaKind::kNot) return false;
+            }
+          }
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().state] = std::min(low[frames.back().state], low[v]);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> CheckWellFormed(const Mfa& mfa) {
+  std::vector<std::string> problems;
+  auto bad = [&](std::string m) { problems.push_back(std::move(m)); };
+  if (mfa.start < 0 || mfa.start >= mfa.num_nfa_states()) {
+    bad("start state out of range");
+  }
+  for (StateId s = 0; s < mfa.num_nfa_states(); ++s) {
+    for (const NfaTransition& t : mfa.nfa[s].trans) {
+      if (t.to < 0 || t.to >= mfa.num_nfa_states()) {
+        bad("NFA transition target out of range");
+      }
+      if (!t.wildcard && t.label == kNoLabel) bad("NFA transition without label");
+    }
+    for (StateId e : mfa.nfa[s].eps) {
+      if (e < 0 || e >= mfa.num_nfa_states()) bad("NFA eps target out of range");
+    }
+    StateId a = mfa.nfa[s].afa_entry;
+    if (a != kNoState && (a < 0 || a >= mfa.num_afa_states())) {
+      bad("lambda annotation out of range");
+    }
+  }
+  for (StateId s = 0; s < mfa.num_afa_states(); ++s) {
+    const AfaState& a = mfa.afa[s];
+    for (StateId o : a.operands) {
+      if (o < 0 || o >= mfa.num_afa_states()) bad("AFA operand out of range");
+    }
+    switch (a.kind) {
+      case AfaKind::kNot:
+        if (a.operands.size() != 1) bad("NOT state must have one operand");
+        break;
+      case AfaKind::kAnd:
+      case AfaKind::kOr:
+        break;
+      case AfaKind::kTrans:
+        if (!a.operands.empty()) bad("transition state with eps operands");
+        if (a.target < 0 || a.target >= mfa.num_afa_states()) {
+          bad("AFA transition target out of range");
+        }
+        if (!a.wildcard && a.label == kNoLabel) bad("AFA transition without label");
+        break;
+      case AfaKind::kFinal:
+        if (!a.operands.empty() || a.target != kNoState) {
+          bad("final state must have no moves");
+        }
+        break;
+    }
+  }
+  return problems;
+}
+
+}  // namespace smoqe::automata

@@ -1,0 +1,113 @@
+// Mixed finite state automata (MFA), Section 4 of the paper.
+//
+// An MFA is a selecting NFA whose states may be annotated (the λ mapping)
+// with alternating finite automata (AFA). The NFA captures the
+// data-selecting paths of an Xreg query; each AFA captures one filter.
+//
+// AFA states follow the paper's normal form exactly:
+//   - operator states   AND / OR / NOT : ε-moves to their operands only
+//   - transition states : exactly one label (or wildcard) move to one state
+//   - final states      : no moves; optionally a predicate text()='c' or
+//                         position()=k
+// All AFAs of an MFA live in one shared state arena (`afa`); a binding
+// X_i = AFA_i is just an entry StateId. Nested filters are flattened into a
+// single AFA by construction (Section 5), so entries never "call" other
+// entries at the same tree node except through ordinary ε-operands.
+//
+// Split-property invariant (Theorem 4.1): no NOT state lies on a cycle of
+// the AFA graph (cycles arise only from Kleene stars and pass through
+// monotone OR/AND/transition states). This makes the per-node truth
+// assignment the least fixpoint of a stratified monotone system, which every
+// evaluator in this repository relies on. HasSplitProperty() checks it.
+
+#ifndef SMOQE_AUTOMATA_MFA_H_
+#define SMOQE_AUTOMATA_MFA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/name_table.h"
+
+namespace smoqe::automata {
+
+using StateId = int32_t;
+inline constexpr StateId kNoState = -1;
+
+// ---------- Selecting NFA ----------
+
+struct NfaTransition {
+  LabelId label = kNoLabel;  // interned in Mfa::labels
+  bool wildcard = false;     // matches any element label
+  StateId to = kNoState;
+};
+
+struct NfaState {
+  std::vector<NfaTransition> trans;
+  std::vector<StateId> eps;
+  bool is_final = false;
+  StateId afa_entry = kNoState;  // λ annotation, or kNoState
+};
+
+// ---------- AFA ----------
+
+enum class AfaKind : uint8_t { kAnd, kOr, kNot, kTrans, kFinal };
+
+enum class PredKind : uint8_t { kNone, kTextEquals, kPositionEquals };
+
+struct AfaState {
+  AfaKind kind = AfaKind::kOr;
+  // kTrans:
+  LabelId label = kNoLabel;
+  bool wildcard = false;
+  StateId target = kNoState;
+  // kAnd / kOr operands; kNot has exactly one.
+  std::vector<StateId> operands;
+  // kFinal:
+  PredKind pred = PredKind::kNone;
+  std::string text;   // kTextEquals constant
+  int position = 0;   // kPositionEquals constant
+};
+
+// ---------- MFA ----------
+
+struct Mfa {
+  std::vector<NfaState> nfa;
+  StateId start = kNoState;
+  std::vector<AfaState> afa;
+  NameTable labels;  // label alphabet shared by NFA and AFA transitions
+
+  int num_nfa_states() const { return static_cast<int>(nfa.size()); }
+  int num_afa_states() const { return static_cast<int>(afa.size()); }
+
+  /// |M|: states plus transitions/operand edges, the measure in Theorems 5.1
+  /// and 6.1.
+  int64_t SizeMeasure() const;
+
+  /// Graphviz rendering (selecting NFA solid, AFAs dashed), for debugging and
+  /// the documentation.
+  std::string ToDot() const;
+};
+
+/// ε-closure of `states` (sorted ids in, sorted ids out).
+void EpsClosure(const Mfa& mfa, std::vector<StateId>* states);
+
+/// States reachable from `states` by a transition matching an element with
+/// tree-side label `tree_label`, where `binding[mfa_label]` gives the
+/// tree-side id of an MFA label (kNoLabel when the tree never saw it).
+/// Returns the move set *without* ε-closure.
+std::vector<StateId> Move(const Mfa& mfa, const std::vector<StateId>& states,
+                          const std::vector<LabelId>& binding, LabelId tree_label);
+
+/// Checks the split-property invariant: no AND / NOT state lies on a cycle of
+/// the AFA graph (ε-operand edges and transition edges alike).
+bool HasSplitProperty(const Mfa& mfa);
+
+/// Verifies structural well-formedness: targets in range, operator arities,
+/// final states without moves, NOT with exactly one operand. Returns a
+/// human-readable problem list (empty = well-formed).
+std::vector<std::string> CheckWellFormed(const Mfa& mfa);
+
+}  // namespace smoqe::automata
+
+#endif  // SMOQE_AUTOMATA_MFA_H_

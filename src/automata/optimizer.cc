@@ -1,0 +1,156 @@
+#include "automata/optimizer.h"
+
+#include <vector>
+
+namespace smoqe::automata {
+
+namespace {
+
+// Forward reachability over the selecting NFA from the start state.
+std::vector<bool> ReachableFromStart(const Mfa& mfa) {
+  std::vector<bool> seen(mfa.nfa.size(), false);
+  if (mfa.start == kNoState) return seen;
+  std::vector<StateId> work = {mfa.start};
+  seen[mfa.start] = true;
+  while (!work.empty()) {
+    StateId s = work.back();
+    work.pop_back();
+    auto push = [&](StateId t) {
+      if (!seen[t]) {
+        seen[t] = true;
+        work.push_back(t);
+      }
+    };
+    for (const NfaTransition& t : mfa.nfa[s].trans) push(t.to);
+    for (StateId e : mfa.nfa[s].eps) push(e);
+  }
+  return seen;
+}
+
+// Backward reachability: states from which some final state is reachable.
+std::vector<bool> CanReachFinal(const Mfa& mfa) {
+  int n = mfa.num_nfa_states();
+  std::vector<std::vector<StateId>> rev(n);
+  std::vector<StateId> work;
+  std::vector<bool> seen(n, false);
+  for (StateId s = 0; s < n; ++s) {
+    for (const NfaTransition& t : mfa.nfa[s].trans) rev[t.to].push_back(s);
+    for (StateId e : mfa.nfa[s].eps) rev[e].push_back(s);
+    if (mfa.nfa[s].is_final) {
+      seen[s] = true;
+      work.push_back(s);
+    }
+  }
+  while (!work.empty()) {
+    StateId s = work.back();
+    work.pop_back();
+    for (StateId p : rev[s]) {
+      if (!seen[p]) {
+        seen[p] = true;
+        work.push_back(p);
+      }
+    }
+  }
+  return seen;
+}
+
+// AFA states reachable from the surviving annotation entries.
+std::vector<bool> LiveAfaStates(const Mfa& mfa, const std::vector<bool>& keep_nfa) {
+  std::vector<bool> seen(mfa.afa.size(), false);
+  std::vector<StateId> work;
+  for (StateId s = 0; s < mfa.num_nfa_states(); ++s) {
+    if (!keep_nfa[s]) continue;
+    StateId e = mfa.nfa[s].afa_entry;
+    if (e != kNoState && !seen[e]) {
+      seen[e] = true;
+      work.push_back(e);
+    }
+  }
+  while (!work.empty()) {
+    StateId s = work.back();
+    work.pop_back();
+    auto push = [&](StateId t) {
+      if (t != kNoState && !seen[t]) {
+        seen[t] = true;
+        work.push_back(t);
+      }
+    };
+    for (StateId o : mfa.afa[s].operands) push(o);
+    push(mfa.afa[s].target);
+  }
+  return seen;
+}
+
+}  // namespace
+
+Mfa TrimMfa(const Mfa& mfa, TrimStats* stats) {
+  std::vector<bool> fwd = ReachableFromStart(mfa);
+  std::vector<bool> bwd = CanReachFinal(mfa);
+  std::vector<bool> keep(mfa.nfa.size());
+  for (size_t s = 0; s < mfa.nfa.size(); ++s) keep[s] = fwd[s] && bwd[s];
+  // The start state must survive even when the language is empty, so the
+  // result stays a well-formed MFA.
+  if (mfa.start != kNoState) keep[mfa.start] = true;
+
+  std::vector<bool> live_afa = LiveAfaStates(mfa, keep);
+
+  Mfa out;
+  std::vector<StateId> nfa_map(mfa.nfa.size(), kNoState);
+  std::vector<StateId> afa_map(mfa.afa.size(), kNoState);
+  for (StateId s = 0; s < mfa.num_nfa_states(); ++s) {
+    if (!keep[s]) continue;
+    nfa_map[s] = static_cast<StateId>(out.nfa.size());
+    out.nfa.emplace_back();
+  }
+  for (StateId s = 0; s < mfa.num_afa_states(); ++s) {
+    if (!live_afa[s]) continue;
+    afa_map[s] = static_cast<StateId>(out.afa.size());
+    out.afa.emplace_back();
+  }
+
+  auto map_label = [&](LabelId l, bool wildcard) {
+    return wildcard || l == kNoLabel ? kNoLabel
+                                     : out.labels.Intern(mfa.labels.name(l));
+  };
+
+  for (StateId s = 0; s < mfa.num_nfa_states(); ++s) {
+    if (nfa_map[s] == kNoState) continue;
+    const NfaState& src = mfa.nfa[s];
+    NfaState& dst = out.nfa[nfa_map[s]];
+    dst.is_final = src.is_final;
+    dst.afa_entry =
+        src.afa_entry == kNoState ? kNoState : afa_map[src.afa_entry];
+    for (const NfaTransition& t : src.trans) {
+      if (nfa_map[t.to] == kNoState) continue;
+      dst.trans.push_back(
+          {map_label(t.label, t.wildcard), t.wildcard, nfa_map[t.to]});
+    }
+    for (StateId e : src.eps) {
+      if (nfa_map[e] != kNoState) dst.eps.push_back(nfa_map[e]);
+    }
+  }
+  for (StateId s = 0; s < mfa.num_afa_states(); ++s) {
+    if (afa_map[s] == kNoState) continue;
+    const AfaState& src = mfa.afa[s];
+    AfaState& dst = out.afa[afa_map[s]];
+    dst.kind = src.kind;
+    dst.wildcard = src.wildcard;
+    dst.label = map_label(src.label, src.wildcard);
+    dst.target = src.target == kNoState ? kNoState : afa_map[src.target];
+    dst.pred = src.pred;
+    dst.text = src.text;
+    dst.position = src.position;
+    for (StateId o : src.operands) dst.operands.push_back(afa_map[o]);
+  }
+  out.start = mfa.start == kNoState ? kNoState : nfa_map[mfa.start];
+
+  if (stats != nullptr) {
+    stats->nfa_before = mfa.num_nfa_states();
+    stats->nfa_after = out.num_nfa_states();
+    stats->afa_before = mfa.num_afa_states();
+    stats->afa_after = out.num_afa_states();
+  }
+  return out;
+}
+
+}  // namespace smoqe::automata

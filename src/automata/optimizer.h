@@ -1,0 +1,34 @@
+// MFA optimizer: removes states that cannot contribute to any answer.
+//
+// The product construction of Algorithm rewrite (Section 5) systematically
+// creates selecting states for (query position, view type) pairs that turn
+// out to be dead ends -- e.g. a label step under a view type that cannot
+// produce it -- and AFA fragments referenced only by such states. Trimming
+// keeps the automaton small, which matters because every evaluator's
+// per-node cost scales with the live state sets (Theorem 6.1's |M| factor).
+
+#ifndef SMOQE_AUTOMATA_OPTIMIZER_H_
+#define SMOQE_AUTOMATA_OPTIMIZER_H_
+
+#include "automata/mfa.h"
+
+namespace smoqe::automata {
+
+struct TrimStats {
+  int nfa_before = 0;
+  int nfa_after = 0;
+  int afa_before = 0;
+  int afa_after = 0;
+};
+
+/// Returns an equivalent MFA containing only
+///  - selecting states reachable from the start *and* able to reach a final
+///    state (over-approximating annotations as satisfiable), and
+///  - AFA states reachable from some surviving annotation entry.
+/// Labels are re-interned, ids remapped. The result evaluates to the same
+/// answer set on every tree (tested property).
+Mfa TrimMfa(const Mfa& mfa, TrimStats* stats = nullptr);
+
+}  // namespace smoqe::automata
+
+#endif  // SMOQE_AUTOMATA_OPTIMIZER_H_

@@ -1,0 +1,19 @@
+#include "common/name_table.h"
+
+namespace smoqe {
+
+LabelId NameTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId NameTable::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kNoLabel : it->second;
+}
+
+}  // namespace smoqe

@@ -1,0 +1,40 @@
+// NameTable: string interning for element labels.
+//
+// Trees, DTDs and automata each intern their label strings once; hot loops
+// then compare int32 LabelIds instead of strings. Different tables assign
+// unrelated ids, so components translate ids through label strings when they
+// meet (see e.g. hype::LabelBinding).
+
+#ifndef SMOQE_COMMON_NAME_TABLE_H_
+#define SMOQE_COMMON_NAME_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace smoqe {
+
+using LabelId = int32_t;
+inline constexpr LabelId kNoLabel = -1;
+
+class NameTable {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  LabelId Intern(std::string_view name);
+
+  /// Returns the id for `name` or kNoLabel when never interned.
+  LabelId Lookup(std::string_view name) const;
+
+  const std::string& name(LabelId id) const { return names_[id]; }
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> index_;
+};
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_NAME_TABLE_H_

@@ -1,0 +1,117 @@
+// Status / StatusOr: exception-free error handling for the SMOQE library.
+//
+// The library never throws; fallible operations return Status or StatusOr<T>
+// (the RocksDB/Abseil idiom). Use SMOQE_RETURN_IF_ERROR / SMOQE_ASSIGN_OR_RETURN
+// to propagate errors.
+
+#ifndef SMOQE_COMMON_STATUS_H_
+#define SMOQE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace smoqe {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something structurally wrong
+  kParseError,        // malformed XML / DTD / query / view text
+  kNotFound,          // missing label, production, or annotation
+  kFailedPrecondition,// input violates a documented invariant (e.g. invalid view)
+  kUnimplemented,     // feature intentionally not supported (documented)
+  kInternal,          // invariant broken inside the library (a bug)
+};
+
+/// A success-or-error result. Cheap to copy on the success path (no message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>", for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of T or an error Status. `value()` asserts ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define SMOQE_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::smoqe::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define SMOQE_CONCAT_INNER_(a, b) a##b
+#define SMOQE_CONCAT_(a, b) SMOQE_CONCAT_INNER_(a, b)
+
+#define SMOQE_ASSIGN_OR_RETURN(lhs, expr)                       \
+  SMOQE_ASSIGN_OR_RETURN_IMPL_(SMOQE_CONCAT_(_sor_, __LINE__), lhs, expr)
+
+#define SMOQE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = tmp.take();
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_STATUS_H_

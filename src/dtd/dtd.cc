@@ -1,0 +1,119 @@
+#include "dtd/dtd.h"
+
+#include <algorithm>
+
+namespace smoqe::dtd {
+
+TypeId Dtd::DeclareType(std::string_view name) {
+  TypeId id = types_.Intern(name);
+  if (id >= static_cast<TypeId>(prods_.size())) {
+    prods_.resize(id + 1);
+    defined_.resize(id + 1, false);
+  }
+  return id;
+}
+
+TypeId Dtd::FindType(std::string_view name) const { return types_.Lookup(name); }
+
+Status Dtd::SetProduction(TypeId t, Production p) {
+  if (t < 0 || t >= num_types()) {
+    return Status::InvalidArgument("SetProduction: unknown type id");
+  }
+  if (defined_[t]) {
+    return Status::InvalidArgument("duplicate production for type '" +
+                                   type_name(t) + "'");
+  }
+  if (p.kind == ContentKind::kChoice && p.children.size() < 2) {
+    return Status::InvalidArgument("disjunction for type '" + type_name(t) +
+                                   "' needs at least two branches");
+  }
+  prods_[t] = std::move(p);
+  defined_[t] = true;
+  return Status::OK();
+}
+
+std::vector<TypeId> Dtd::ChildTypes(TypeId t) const {
+  std::vector<TypeId> out;
+  for (const ChildSpec& c : prods_[t].children) {
+    if (std::find(out.begin(), out.end(), c.type) == out.end()) {
+      out.push_back(c.type);
+    }
+  }
+  return out;
+}
+
+bool Dtd::HasEdge(TypeId a, TypeId b) const {
+  for (const ChildSpec& c : prods_[a].children) {
+    if (c.type == b) return true;
+  }
+  return false;
+}
+
+bool Dtd::IsRecursive() const {
+  if (root_ == kNoType) return false;
+  enum { kWhite, kGrey, kBlack };
+  std::vector<int> color(num_types(), kWhite);
+  // Iterative DFS with explicit post-processing marker.
+  std::vector<std::pair<TypeId, bool>> stack = {{root_, false}};
+  while (!stack.empty()) {
+    auto [t, post] = stack.back();
+    stack.pop_back();
+    if (post) {
+      color[t] = kBlack;
+      continue;
+    }
+    if (color[t] == kGrey) continue;
+    color[t] = kGrey;
+    stack.emplace_back(t, true);
+    for (TypeId c : ChildTypes(t)) {
+      if (color[c] == kGrey) return true;
+      if (color[c] == kWhite) stack.emplace_back(c, false);
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<bool>> Dtd::DescendantTypes() const {
+  int n = num_types();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (TypeId t = 0; t < n; ++t) {
+    for (TypeId c : ChildTypes(t)) reach[t][c] = true;
+  }
+  // Floyd-Warshall style closure; DTDs are small so O(n^3) bits is fine.
+  for (TypeId k = 0; k < n; ++k) {
+    for (TypeId i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (TypeId j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = true;
+      }
+    }
+  }
+  return reach;
+}
+
+Status Dtd::Validate() const {
+  if (root_ == kNoType) return Status::FailedPrecondition("DTD has no root type");
+  for (TypeId t = 0; t < num_types(); ++t) {
+    if (!defined_[t]) {
+      return Status::FailedPrecondition("type '" + type_name(t) +
+                                        "' is referenced but has no production");
+    }
+    for (const ChildSpec& c : prods_[t].children) {
+      if (c.type < 0 || c.type >= num_types()) {
+        return Status::Internal("dangling child reference in production of '" +
+                                type_name(t) + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int Dtd::SizeMeasure() const {
+  int size = 0;
+  for (TypeId t = 0; t < num_types(); ++t) {
+    size += 1 + static_cast<int>(prods_[t].children.size());
+  }
+  return size;
+}
+
+}  // namespace smoqe::dtd

@@ -1,0 +1,93 @@
+// DTD model, in the paper's normal form (Section 2.2).
+//
+// A DTD is (Ele, P, r): element types, productions and a root type. Each
+// production P(A) is one of
+//   str                      -- PCDATA content
+//   epsilon                  -- empty content
+//   B1, ..., Bn              -- concatenation, each Bi a type or a starred type
+//   B1 + ... + Bn            -- disjunction (n > 1), each Bi a type or starred
+// Any DTD can be normalized to this form by introducing element types, so no
+// generality is lost (the paper makes the same observation).
+
+#ifndef SMOQE_DTD_DTD_H_
+#define SMOQE_DTD_DTD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/name_table.h"
+#include "common/status.h"
+
+namespace smoqe::dtd {
+
+using TypeId = int32_t;
+inline constexpr TypeId kNoType = -1;
+
+enum class ContentKind : uint8_t {
+  kText,      // str
+  kEmpty,     // epsilon
+  kSequence,  // B1, ..., Bn
+  kChoice,    // B1 + ... + Bn
+};
+
+struct ChildSpec {
+  TypeId type = kNoType;
+  bool starred = false;
+};
+
+struct Production {
+  ContentKind kind = ContentKind::kEmpty;
+  std::vector<ChildSpec> children;  // for kSequence / kChoice
+};
+
+class Dtd {
+ public:
+  /// Declares (or finds) an element type by name.
+  TypeId DeclareType(std::string_view name);
+
+  /// Returns the type id for `name`, or kNoType.
+  TypeId FindType(std::string_view name) const;
+
+  void SetRoot(TypeId t) { root_ = t; }
+  Status SetProduction(TypeId t, Production p);
+
+  TypeId root() const { return root_; }
+  int num_types() const { return static_cast<int>(prods_.size()); }
+  const std::string& type_name(TypeId t) const { return types_.name(t); }
+  const Production& production(TypeId t) const { return prods_[t]; }
+  bool has_production(TypeId t) const { return defined_[t]; }
+
+  /// The distinct child types of `t` (the edges (t, B) of the DTD graph).
+  std::vector<TypeId> ChildTypes(TypeId t) const;
+
+  /// True iff B is a child type of A.
+  bool HasEdge(TypeId a, TypeId b) const;
+
+  /// True iff the DTD graph has a cycle reachable from the root.
+  bool IsRecursive() const;
+
+  /// For each type t, the set (as a bool vector indexed by TypeId) of types
+  /// occurring strictly below a t-element in some document of this DTD
+  /// (graph reachability via one or more edges from t).
+  std::vector<std::vector<bool>> DescendantTypes() const;
+
+  /// Verifies every declared type has a production and all child references
+  /// resolve. Call after building / parsing.
+  Status Validate() const;
+
+  /// Total number of child occurrences over all productions; the |D| used in
+  /// the paper's complexity bounds.
+  int SizeMeasure() const;
+
+ private:
+  NameTable types_;
+  std::vector<Production> prods_;
+  std::vector<bool> defined_;
+  TypeId root_ = kNoType;
+};
+
+}  // namespace smoqe::dtd
+
+#endif  // SMOQE_DTD_DTD_H_

@@ -1,0 +1,30 @@
+// Textual DTD format used throughout SMOQE:
+//
+//   dtd hospital {
+//     hospital   -> department* ;
+//     department -> name, address, patient* ;
+//     treatment  -> test + medication ;
+//     name       -> #text ;
+//     test       -> #empty ;
+//   }
+//
+// The name after `dtd` is the root type. `B*` marks a starred child, `,`
+// concatenation and `+` disjunction (they cannot be mixed in one production,
+// matching the paper's normal form). `#text` is str, `#empty` is epsilon.
+// Every referenced type must have a production.
+
+#ifndef SMOQE_DTD_DTD_PARSER_H_
+#define SMOQE_DTD_DTD_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+
+namespace smoqe::dtd {
+
+StatusOr<Dtd> ParseDtd(std::string_view input);
+
+}  // namespace smoqe::dtd
+
+#endif  // SMOQE_DTD_DTD_PARSER_H_

@@ -1,0 +1,129 @@
+#include "dtd/validator.h"
+
+#include <string>
+#include <vector>
+
+namespace smoqe::dtd {
+
+namespace {
+
+std::string NodePath(const xml::Tree& tree, xml::NodeId id) {
+  std::vector<std::string> parts;
+  for (xml::NodeId n = id; n != xml::kNullNode; n = tree.parent(n)) {
+    parts.push_back(tree.is_element(n) ? tree.label_name(n) : "#text");
+  }
+  std::string path;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) path += "/" + *it;
+  return path;
+}
+
+Status ElementError(const xml::Tree& tree, xml::NodeId id, std::string what) {
+  return Status::FailedPrecondition("at " + NodePath(tree, id) + ": " + what);
+}
+
+// Collects the element children; any text child makes has_text true.
+void SplitChildren(const xml::Tree& tree, xml::NodeId id,
+                   std::vector<xml::NodeId>* elems, bool* has_text) {
+  for (xml::NodeId c = tree.first_child(id); c != xml::kNullNode;
+       c = tree.next_sibling(c)) {
+    if (tree.is_element(c)) {
+      elems->push_back(c);
+    } else {
+      *has_text = true;
+    }
+  }
+}
+
+Status CheckSequence(const Dtd& dtd, const xml::Tree& tree, xml::NodeId id,
+                     const Production& prod,
+                     const std::vector<xml::NodeId>& elems) {
+  size_t i = 0;  // cursor over elems
+  for (const ChildSpec& spec : prod.children) {
+    const std::string& want = dtd.type_name(spec.type);
+    if (spec.starred) {
+      while (i < elems.size() && tree.label_name(elems[i]) == want) ++i;
+    } else {
+      if (i >= elems.size() || tree.label_name(elems[i]) != want) {
+        return ElementError(tree, id, "expected child '" + want + "'");
+      }
+      ++i;
+    }
+  }
+  if (i != elems.size()) {
+    return ElementError(tree, id,
+                        "unexpected child '" + tree.label_name(elems[i]) + "'");
+  }
+  return Status::OK();
+}
+
+Status CheckChoice(const Dtd& dtd, const xml::Tree& tree, xml::NodeId id,
+                   const Production& prod,
+                   const std::vector<xml::NodeId>& elems) {
+  // All children must carry the same label, matching exactly one branch.
+  for (const ChildSpec& spec : prod.children) {
+    const std::string& want = dtd.type_name(spec.type);
+    bool all = true;
+    for (xml::NodeId e : elems) {
+      if (tree.label_name(e) != want) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    if (!spec.starred && elems.size() != 1) continue;
+    if (spec.starred || elems.size() == 1) return Status::OK();
+  }
+  // An empty child list satisfies a starred branch.
+  if (elems.empty()) {
+    for (const ChildSpec& spec : prod.children) {
+      if (spec.starred) return Status::OK();
+    }
+  }
+  return ElementError(tree, id, "children match no branch of the disjunction");
+}
+
+}  // namespace
+
+Status ValidateDocument(const Dtd& dtd, const xml::Tree& tree) {
+  SMOQE_RETURN_IF_ERROR(dtd.Validate());
+  if (tree.empty()) return Status::FailedPrecondition("empty document");
+  if (tree.label_name(tree.root()) != dtd.type_name(dtd.root())) {
+    return Status::FailedPrecondition(
+        "root is '" + tree.label_name(tree.root()) + "', DTD root is '" +
+        dtd.type_name(dtd.root()) + "'");
+  }
+  for (xml::NodeId id = 0; id < tree.size(); ++id) {
+    if (!tree.is_element(id)) continue;
+    TypeId t = dtd.FindType(tree.label_name(id));
+    if (t == kNoType) {
+      return ElementError(tree, id, "label not declared in the DTD");
+    }
+    const Production& prod = dtd.production(t);
+    std::vector<xml::NodeId> elems;
+    bool has_text = false;
+    SplitChildren(tree, id, &elems, &has_text);
+    switch (prod.kind) {
+      case ContentKind::kText:
+        if (!elems.empty()) {
+          return ElementError(tree, id, "PCDATA element has element children");
+        }
+        break;
+      case ContentKind::kEmpty:
+        if (!elems.empty() || has_text) {
+          return ElementError(tree, id, "empty element has children");
+        }
+        break;
+      case ContentKind::kSequence:
+        if (has_text) return ElementError(tree, id, "unexpected text content");
+        SMOQE_RETURN_IF_ERROR(CheckSequence(dtd, tree, id, prod, elems));
+        break;
+      case ContentKind::kChoice:
+        if (has_text) return ElementError(tree, id, "unexpected text content");
+        SMOQE_RETURN_IF_ERROR(CheckChoice(dtd, tree, id, prod, elems));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace smoqe::dtd

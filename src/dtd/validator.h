@@ -1,0 +1,20 @@
+// Checks that an XML tree conforms to a DTD in the paper's normal form.
+
+#ifndef SMOQE_DTD_VALIDATOR_H_
+#define SMOQE_DTD_VALIDATOR_H_
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "xml/tree.h"
+
+namespace smoqe::dtd {
+
+/// Returns OK iff `tree` is a document of `dtd`: the root carries the root
+/// type, every element's children match its production (sequence order and
+/// multiplicities included; a disjunction is satisfied by exactly one branch),
+/// kText elements contain only text, and kEmpty elements nothing.
+Status ValidateDocument(const Dtd& dtd, const xml::Tree& tree);
+
+}  // namespace smoqe::dtd
+
+#endif  // SMOQE_DTD_VALIDATOR_H_

@@ -1,0 +1,106 @@
+#include "eval/galax_substitute.h"
+
+#include <algorithm>
+
+namespace smoqe::eval {
+
+namespace {
+
+void SortDedup(NodeSet* s) {
+  std::sort(s->begin(), s->end());
+  s->erase(std::unique(s->begin(), s->end()), s->end());
+}
+
+}  // namespace
+
+NodeSet GalaxSubstitute::Eval(const xpath::PathPtr& query,
+                              xml::NodeId context) const {
+  return Apply(query, NodeSet{context});
+}
+
+NodeSet GalaxSubstitute::Apply(const xpath::PathPtr& query,
+                               const NodeSet& contexts) const {
+  using xpath::PathKind;
+  NodeSet out;
+  switch (query->kind) {
+    case PathKind::kEmpty:
+      out = contexts;
+      break;
+    case PathKind::kLabel:
+      for (xml::NodeId v : contexts) {
+        for (xml::NodeId c = tree_.first_child(v); c != xml::kNullNode;
+             c = tree_.next_sibling(c)) {
+          if (tree_.is_element(c) && tree_.label_name(c) == query->label) {
+            out.push_back(c);
+          }
+        }
+      }
+      break;
+    case PathKind::kWildcard:
+      for (xml::NodeId v : contexts) {
+        for (xml::NodeId c = tree_.first_child(v); c != xml::kNullNode;
+             c = tree_.next_sibling(c)) {
+          if (tree_.is_element(c)) out.push_back(c);
+        }
+      }
+      break;
+    case PathKind::kSeq:
+      out = Apply(query->right, Apply(query->left, contexts));
+      break;
+    case PathKind::kUnion: {
+      out = Apply(query->left, contexts);
+      NodeSet rhs = Apply(query->right, contexts);
+      out.insert(out.end(), rhs.begin(), rhs.end());
+      break;
+    }
+    case PathKind::kStar: {
+      // The recursive-function translation: keep re-applying the body to the
+      // whole accumulated sequence until it stops growing.
+      out = contexts;
+      SortDedup(&out);
+      for (;;) {
+        NodeSet image = Apply(query->left, out);
+        NodeSet merged = out;
+        merged.insert(merged.end(), image.begin(), image.end());
+        SortDedup(&merged);
+        if (merged.size() == out.size()) break;
+        out = std::move(merged);
+      }
+      break;
+    }
+    case PathKind::kFilter: {
+      NodeSet base = Apply(query->left, contexts);
+      for (xml::NodeId v : base) {
+        if (Filter(query->filter, v)) out.push_back(v);
+      }
+      break;
+    }
+  }
+  SortDedup(&out);
+  return out;
+}
+
+bool GalaxSubstitute::Filter(const xpath::FilterPtr& filter,
+                             xml::NodeId node) const {
+  using xpath::FilterKind;
+  switch (filter->kind) {
+    case FilterKind::kPath:
+      return !Apply(filter->path, NodeSet{node}).empty();
+    case FilterKind::kTextEquals:
+      for (xml::NodeId v : Apply(filter->path, NodeSet{node})) {
+        if (tree_.HasText(v, filter->text)) return true;
+      }
+      return false;
+    case FilterKind::kPositionEquals:
+      return tree_.child_index(node) == filter->position;
+    case FilterKind::kNot:
+      return !Filter(filter->left, node);
+    case FilterKind::kAnd:
+      return Filter(filter->left, node) && Filter(filter->right, node);
+    case FilterKind::kOr:
+      return Filter(filter->left, node) || Filter(filter->right, node);
+  }
+  return false;
+}
+
+}  // namespace smoqe::eval

@@ -1,0 +1,113 @@
+#include "eval/naive_evaluator.h"
+
+#include <algorithm>
+
+namespace smoqe::eval {
+
+namespace {
+
+void SortUnique(NodeSet* s) {
+  std::sort(s->begin(), s->end());
+  s->erase(std::unique(s->begin(), s->end()), s->end());
+}
+
+NodeSet MergeSets(const NodeSet& a, const NodeSet& b) {
+  NodeSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+NodeSet NaiveEvaluator::Eval(const xpath::PathPtr& query, xml::NodeId context) const {
+  return EvalSet(query, NodeSet{context});
+}
+
+NodeSet NaiveEvaluator::EvalSet(const xpath::PathPtr& query,
+                                const NodeSet& contexts) const {
+  using xpath::PathKind;
+  switch (query->kind) {
+    case PathKind::kEmpty:
+      return contexts;
+    case PathKind::kLabel: {
+      LabelId want = tree_.labels().Lookup(query->label);
+      NodeSet out;
+      if (want == kNoLabel) return out;
+      for (xml::NodeId v : contexts) {
+        for (xml::NodeId c = tree_.first_child(v); c != xml::kNullNode;
+             c = tree_.next_sibling(c)) {
+          if (tree_.is_element(c) && tree_.label(c) == want) out.push_back(c);
+        }
+      }
+      SortUnique(&out);
+      return out;
+    }
+    case PathKind::kWildcard: {
+      NodeSet out;
+      for (xml::NodeId v : contexts) {
+        for (xml::NodeId c = tree_.first_child(v); c != xml::kNullNode;
+             c = tree_.next_sibling(c)) {
+          if (tree_.is_element(c)) out.push_back(c);
+        }
+      }
+      SortUnique(&out);
+      return out;
+    }
+    case PathKind::kSeq:
+      return EvalSet(query->right, EvalSet(query->left, contexts));
+    case PathKind::kUnion:
+      return MergeSets(EvalSet(query->left, contexts),
+                       EvalSet(query->right, contexts));
+    case PathKind::kStar: {
+      // Reflexive-transitive closure via a worklist.
+      NodeSet closure = contexts;
+      NodeSet frontier = contexts;
+      while (!frontier.empty()) {
+        NodeSet next = EvalSet(query->left, frontier);
+        NodeSet fresh;
+        std::set_difference(next.begin(), next.end(), closure.begin(),
+                            closure.end(), std::back_inserter(fresh));
+        if (fresh.empty()) break;
+        closure = MergeSets(closure, fresh);
+        frontier = std::move(fresh);
+      }
+      return closure;
+    }
+    case PathKind::kFilter: {
+      NodeSet base = EvalSet(query->left, contexts);
+      NodeSet out;
+      for (xml::NodeId v : base) {
+        if (EvalFilter(query->filter, v)) out.push_back(v);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+bool NaiveEvaluator::EvalFilter(const xpath::FilterPtr& filter,
+                                xml::NodeId node) const {
+  using xpath::FilterKind;
+  switch (filter->kind) {
+    case FilterKind::kPath:
+      return !Eval(filter->path, node).empty();
+    case FilterKind::kTextEquals: {
+      for (xml::NodeId v : Eval(filter->path, node)) {
+        if (tree_.HasText(v, filter->text)) return true;
+      }
+      return false;
+    }
+    case FilterKind::kPositionEquals:
+      return tree_.child_index(node) == filter->position;
+    case FilterKind::kNot:
+      return !EvalFilter(filter->left, node);
+    case FilterKind::kAnd:
+      return EvalFilter(filter->left, node) && EvalFilter(filter->right, node);
+    case FilterKind::kOr:
+      return EvalFilter(filter->left, node) || EvalFilter(filter->right, node);
+  }
+  return false;
+}
+
+}  // namespace smoqe::eval

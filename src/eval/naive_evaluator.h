@@ -1,0 +1,47 @@
+// Reference evaluator: the direct set semantics of Xreg (Section 2.1).
+//
+//   v[[eps]]    = {v}
+//   v[[A]]      = children of v labeled A
+//   v[[*]]      = element children of v
+//   v[[Q1/Q2]]  = union over u in v[[Q1]] of u[[Q2]]
+//   v[[Q1 U Q2]]= v[[Q1]] union v[[Q2]]
+//   v[[Q*]]     = reflexive-transitive closure of [[Q]] from v
+//   v[[Q[q]]]   = {u in v[[Q]] : q holds at u}
+//
+// This is the correctness oracle for every other evaluator in the repository.
+// It makes no effort to be fast (no pruning, no sharing across filters).
+
+#ifndef SMOQE_EVAL_NAIVE_EVALUATOR_H_
+#define SMOQE_EVAL_NAIVE_EVALUATOR_H_
+
+#include <vector>
+
+#include "xml/tree.h"
+#include "xpath/ast.h"
+
+namespace smoqe::eval {
+
+/// Sorted, duplicate-free node ids (document order, since builders append in
+/// DFS order).
+using NodeSet = std::vector<xml::NodeId>;
+
+class NaiveEvaluator {
+ public:
+  explicit NaiveEvaluator(const xml::Tree& tree) : tree_(tree) {}
+
+  /// Evaluates `query` at `context`, returning v[[Q]].
+  NodeSet Eval(const xpath::PathPtr& query, xml::NodeId context) const;
+
+  /// Evaluates `query` at every node of `contexts` (set-at-a-time).
+  NodeSet EvalSet(const xpath::PathPtr& query, const NodeSet& contexts) const;
+
+  /// Truth of a filter at a node.
+  bool EvalFilter(const xpath::FilterPtr& filter, xml::NodeId node) const;
+
+ private:
+  const xml::Tree& tree_;
+};
+
+}  // namespace smoqe::eval
+
+#endif  // SMOQE_EVAL_NAIVE_EVALUATOR_H_

@@ -1,0 +1,119 @@
+#include "eval/xpath_baseline.h"
+
+#include <algorithm>
+
+#include "xpath/x_fragment.h"
+
+namespace smoqe::eval {
+
+namespace {
+
+void SortDedup(NodeSet* s) {
+  std::sort(s->begin(), s->end());
+  s->erase(std::unique(s->begin(), s->end()), s->end());
+}
+
+}  // namespace
+
+StatusOr<NodeSet> XPathBaseline::Eval(const xpath::PathPtr& query,
+                                      xml::NodeId context) const {
+  if (!xpath::IsInXFragment(query)) {
+    return Status::InvalidArgument(
+        "XPathBaseline evaluates the XPath fragment X only; general Kleene "
+        "stars require a regular XPath engine (HyPE)");
+  }
+  return Step(query, NodeSet{context});
+}
+
+NodeSet XPathBaseline::Step(const xpath::PathPtr& query,
+                            const NodeSet& contexts) const {
+  using xpath::PathKind;
+  NodeSet out;
+  switch (query->kind) {
+    case PathKind::kEmpty:
+      out = contexts;
+      break;
+    case PathKind::kLabel: {
+      for (xml::NodeId v : contexts) {
+        for (xml::NodeId c = tree_.first_child(v); c != xml::kNullNode;
+             c = tree_.next_sibling(c)) {
+          // Interpretive engines compare tag names; so do we.
+          if (tree_.is_element(c) && tree_.label_name(c) == query->label) {
+            out.push_back(c);
+          }
+        }
+      }
+      break;
+    }
+    case PathKind::kWildcard: {
+      for (xml::NodeId v : contexts) {
+        for (xml::NodeId c = tree_.first_child(v); c != xml::kNullNode;
+             c = tree_.next_sibling(c)) {
+          if (tree_.is_element(c)) out.push_back(c);
+        }
+      }
+      break;
+    }
+    case PathKind::kSeq:
+      out = Step(query->right, Step(query->left, contexts));
+      break;
+    case PathKind::kUnion: {
+      out = Step(query->left, contexts);
+      NodeSet rhs = Step(query->right, contexts);
+      out.insert(out.end(), rhs.begin(), rhs.end());
+      break;
+    }
+    case PathKind::kStar: {
+      // In X this is always (*)*: descendant-or-self, one full subtree walk
+      // per context node.
+      for (xml::NodeId v : contexts) {
+        std::vector<xml::NodeId> stack = {v};
+        while (!stack.empty()) {
+          xml::NodeId n = stack.back();
+          stack.pop_back();
+          out.push_back(n);
+          for (xml::NodeId c = tree_.first_child(n); c != xml::kNullNode;
+               c = tree_.next_sibling(c)) {
+            if (tree_.is_element(c)) stack.push_back(c);
+          }
+        }
+      }
+      break;
+    }
+    case PathKind::kFilter: {
+      NodeSet base = Step(query->left, contexts);
+      for (xml::NodeId v : base) {
+        if (Filter(query->filter, v)) out.push_back(v);
+      }
+      break;
+    }
+  }
+  SortDedup(&out);
+  return out;
+}
+
+bool XPathBaseline::Filter(const xpath::FilterPtr& filter,
+                           xml::NodeId node) const {
+  using xpath::FilterKind;
+  switch (filter->kind) {
+    case FilterKind::kPath:
+      return !Step(filter->path, NodeSet{node}).empty();
+    case FilterKind::kTextEquals: {
+      for (xml::NodeId v : Step(filter->path, NodeSet{node})) {
+        if (tree_.HasText(v, filter->text)) return true;
+      }
+      return false;
+    }
+    case FilterKind::kPositionEquals:
+      return tree_.child_index(node) == filter->position;
+    case FilterKind::kNot:
+      return !Filter(filter->left, node);
+    case FilterKind::kAnd:
+      return Filter(filter->left, node) && Filter(filter->right, node);
+    case FilterKind::kOr:
+      return Filter(filter->left, node) || Filter(filter->right, node);
+  }
+  return false;
+}
+
+}  // namespace smoqe::eval

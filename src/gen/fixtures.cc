@@ -1,0 +1,161 @@
+#include "gen/fixtures.h"
+
+#include <cassert>
+
+#include "dtd/dtd_parser.h"
+#include "view/view_parser.h"
+
+namespace smoqe::gen {
+
+const char* const kHospitalDtdText = R"(
+dtd hospital {
+  hospital   -> department* ;
+  department -> name, address, patient* ;
+  name       -> #text ;
+  address    -> street, city, zip ;
+  street     -> #text ;
+  city       -> #text ;
+  zip        -> #text ;
+  patient    -> pname, address, visit*, parent*, sibling* ;
+  pname      -> #text ;
+  visit      -> date, treatment, doctor ;
+  date       -> #text ;
+  treatment  -> test + medication ;
+  test       -> type ;
+  medication -> type, diagnosis ;
+  type       -> #text ;
+  diagnosis  -> #text ;
+  doctor     -> dname, specialty ;
+  dname      -> #text ;
+  specialty  -> #text ;
+  parent     -> patient ;
+  sibling    -> patient ;
+}
+)";
+
+const char* const kHospitalViewDtdText = R"(
+dtd hospital {
+  hospital  -> patient* ;
+  patient   -> parent*, record* ;
+  parent    -> patient ;
+  record    -> empty + diagnosis ;
+  empty     -> #empty ;
+  diagnosis -> #text ;
+}
+)";
+
+// Fig. 1(c): σ0. Q1..Q6 in the paper's numbering.
+const char* const kHospitalViewSpecText = R"(
+view research {
+  source dtd hospital {
+    hospital   -> department* ;
+    department -> name, address, patient* ;
+    name       -> #text ;
+    address    -> street, city, zip ;
+    street     -> #text ;
+    city       -> #text ;
+    zip        -> #text ;
+    patient    -> pname, address, visit*, parent*, sibling* ;
+    pname      -> #text ;
+    visit      -> date, treatment, doctor ;
+    date       -> #text ;
+    treatment  -> test + medication ;
+    test       -> type ;
+    medication -> type, diagnosis ;
+    type       -> #text ;
+    diagnosis  -> #text ;
+    doctor     -> dname, specialty ;
+    dname      -> #text ;
+    specialty  -> #text ;
+    parent     -> patient ;
+    sibling    -> patient ;
+  }
+  view dtd hospital {
+    hospital  -> patient* ;
+    patient   -> parent*, record* ;
+    parent    -> patient ;
+    record    -> empty + diagnosis ;
+    empty     -> #empty ;
+    diagnosis -> #text ;
+  }
+  sigma {
+    hospital.patient = "department/patient[visit/treatment/medication/diagnosis/text() = 'heart disease']" ;  // Q1
+    patient.parent   = "parent" ;                                 // Q2
+    patient.record   = "visit" ;                                  // Q3
+    parent.patient   = "patient" ;                                // Q4
+    record.empty     = "treatment/test" ;                         // Q5
+    record.diagnosis = "treatment/medication/diagnosis" ;         // Q6
+  }
+}
+)";
+
+dtd::Dtd HospitalDtd() {
+  auto dtd = dtd::ParseDtd(kHospitalDtdText);
+  assert(dtd.ok());
+  return dtd.take();
+}
+
+dtd::Dtd HospitalViewDtd() {
+  auto dtd = dtd::ParseDtd(kHospitalViewDtdText);
+  assert(dtd.ok());
+  return dtd.take();
+}
+
+view::ViewDef HospitalView() {
+  auto view = view::ParseView(kHospitalViewSpecText);
+  assert(view.ok());
+  return view.take();
+}
+
+Fig4Tree MakeFig4Tree() {
+  Fig4Tree out;
+  xml::Tree& t = out.tree;
+  std::vector<xml::NodeId>& ids = out.ids;
+  ids.assign(16, xml::kNullNode);
+  ids[1] = t.AddRoot("hospital");
+  ids[2] = t.AddElement(ids[1], "patient");
+  ids[3] = t.AddElement(ids[2], "parent");
+  ids[4] = t.AddElement(ids[3], "patient");
+  ids[5] = t.AddElement(ids[4], "record");
+  ids[6] = t.AddElement(ids[5], "diagnosis");
+  t.AddText(ids[6], "lung disease");
+  ids[7] = t.AddElement(ids[2], "record");
+  ids[8] = t.AddElement(ids[7], "diagnosis");
+  t.AddText(ids[8], "brain disease");
+  ids[9] = t.AddElement(ids[1], "patient");
+  ids[10] = t.AddElement(ids[9], "parent");
+  ids[11] = t.AddElement(ids[10], "patient");
+  ids[12] = t.AddElement(ids[11], "record");
+  ids[13] = t.AddElement(ids[12], "diagnosis");
+  t.AddText(ids[13], "heart disease");
+  ids[14] = t.AddElement(ids[9], "record");
+  ids[15] = t.AddElement(ids[14], "diagnosis");
+  t.AddText(ids[15], "lung disease");
+  return out;
+}
+
+const char* const kQueryExample11 =
+    "patient[*//record/diagnosis/text() = 'heart disease']";
+
+const char* const kQueryExample21 =
+    "department/patient["
+    "visit/treatment/medication/diagnosis/text() = 'heart disease'"
+    " and "
+    "parent/patient[not(visit/treatment/medication/diagnosis/text() = "
+    "'heart disease')]/parent/patient[visit/treatment/medication/diagnosis/"
+    "text() = 'heart disease']/"
+    "(parent/patient[not(visit/treatment/medication/diagnosis/text() = "
+    "'heart disease')]/parent/patient[visit/treatment/medication/diagnosis/"
+    "text() = 'heart disease'])*"
+    "]/pname";
+
+const char* const kQueryExample41 =
+    "(patient/parent)*/patient[(parent/patient)*/record/diagnosis[text() = "
+    "'heart disease']]";
+
+const char* const kQueryExample31Rewritten =
+    "department/patient[visit/treatment/medication/diagnosis/text() = "
+    "'heart disease'][parent/patient/(parent/patient)*/visit/treatment/"
+    "medication/diagnosis/text() = 'heart disease']";
+
+}  // namespace smoqe::gen

@@ -1,0 +1,57 @@
+// The paper's running example as reusable fixtures: the hospital document
+// DTD of Fig. 1(a), the view DTD of Fig. 1(b), the view specification σ0 of
+// Fig. 1(c), the 15-node tree of Fig. 4, and the queries of Examples 1.1,
+// 2.1 and 4.1 (plus the hand-rewritten Q' of Example 3.1).
+
+#ifndef SMOQE_GEN_FIXTURES_H_
+#define SMOQE_GEN_FIXTURES_H_
+
+#include <string>
+
+#include "dtd/dtd.h"
+#include "view/view_def.h"
+#include "xml/tree.h"
+
+namespace smoqe::gen {
+
+/// Fig. 1(a): the hospital document DTD, in dtd_parser syntax.
+extern const char* const kHospitalDtdText;
+
+/// Fig. 1(b): the research-institute view DTD.
+extern const char* const kHospitalViewDtdText;
+
+/// The full view specification (both DTDs + σ0 of Fig. 1(c)), in view_parser
+/// syntax.
+extern const char* const kHospitalViewSpecText;
+
+dtd::Dtd HospitalDtd();
+dtd::Dtd HospitalViewDtd();
+view::ViewDef HospitalView();  // σ0
+
+/// Fig. 4: the example instance of the *view* DTD used to walk through MFA
+/// evaluation. Node numbering follows the paper (index 0 unused; paper node
+/// k is ids()[k]).
+struct Fig4Tree {
+  xml::Tree tree;
+  // ids[k] = NodeId of the paper's node k (1..15), ids[0] = kNullNode.
+  std::vector<xml::NodeId> ids;
+};
+Fig4Tree MakeFig4Tree();
+
+/// Example 1.1: patients (on the view) whose ancestors also had heart
+/// disease; the query that is NOT rewritable within the XPath fragment X.
+extern const char* const kQueryExample11;
+
+/// Example 2.1: the regular XPath query on the *source* (skipping a
+/// generation) that is not expressible in X.
+extern const char* const kQueryExample21;
+
+/// Example 4.1: Q0 on the view; its MFA is Fig. 3.
+extern const char* const kQueryExample41;
+
+/// Example 3.1: the hand-computed source rewriting Q' of kQueryExample11.
+extern const char* const kQueryExample31Rewritten;
+
+}  // namespace smoqe::gen
+
+#endif  // SMOQE_GEN_FIXTURES_H_

@@ -1,0 +1,95 @@
+#include "gen/generic_generator.h"
+
+#include <random>
+
+namespace smoqe::gen {
+
+namespace {
+
+class GenericGenerator {
+ public:
+  GenericGenerator(const dtd::Dtd& dtd, const GenericParams& p)
+      : dtd_(dtd), p_(p), rng_(p.seed) {}
+
+  StatusOr<xml::Tree> Run() {
+    xml::NodeId root = tree_.AddRoot(dtd_.type_name(dtd_.root()));
+    SMOQE_RETURN_IF_ERROR(Fill(dtd_.root(), root, 1));
+    return std::move(tree_);
+  }
+
+ private:
+  int Range(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  Status Fill(dtd::TypeId type, xml::NodeId self, int depth) {
+    if (depth > p_.hard_depth) {
+      return Status::FailedPrecondition(
+          "hard depth exceeded: DTD requires unboundedly deep documents");
+    }
+    const dtd::Production& prod = dtd_.production(type);
+    switch (prod.kind) {
+      case dtd::ContentKind::kText: {
+        int i = Range(0, static_cast<int>(p_.text_values.size()) - 1);
+        tree_.AddText(self, p_.text_values[i]);
+        return Status::OK();
+      }
+      case dtd::ContentKind::kEmpty:
+        return Status::OK();
+      case dtd::ContentKind::kSequence: {
+        for (const dtd::ChildSpec& spec : prod.children) {
+          int count = 1;
+          if (spec.starred) {
+            count = depth > p_.soft_depth ? 0 : Range(p_.star_min, p_.star_max);
+          }
+          for (int i = 0; i < count; ++i) {
+            xml::NodeId c = tree_.AddElement(self, dtd_.type_name(spec.type));
+            SMOQE_RETURN_IF_ERROR(Fill(spec.type, c, depth + 1));
+          }
+        }
+        return Status::OK();
+      }
+      case dtd::ContentKind::kChoice: {
+        // Past soft depth, prefer a starred branch (expandable to zero).
+        int pick = -1;
+        if (depth > p_.soft_depth) {
+          for (size_t i = 0; i < prod.children.size(); ++i) {
+            if (prod.children[i].starred) {
+              pick = static_cast<int>(i);
+              break;
+            }
+          }
+        }
+        if (pick == -1) {
+          pick = Range(0, static_cast<int>(prod.children.size()) - 1);
+        }
+        const dtd::ChildSpec& spec = prod.children[pick];
+        int count = 1;
+        if (spec.starred) {
+          count = depth > p_.soft_depth ? 0 : Range(p_.star_min, p_.star_max);
+        }
+        for (int i = 0; i < count; ++i) {
+          xml::NodeId c = tree_.AddElement(self, dtd_.type_name(spec.type));
+          SMOQE_RETURN_IF_ERROR(Fill(spec.type, c, depth + 1));
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unreachable production kind");
+  }
+
+  const dtd::Dtd& dtd_;
+  const GenericParams& p_;
+  xml::Tree tree_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace
+
+StatusOr<xml::Tree> GenerateFromDtd(const dtd::Dtd& dtd,
+                                    const GenericParams& params) {
+  SMOQE_RETURN_IF_ERROR(dtd.Validate());
+  return GenericGenerator(dtd, params).Run();
+}
+
+}  // namespace smoqe::gen

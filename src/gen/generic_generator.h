@@ -1,0 +1,36 @@
+// DTD-driven random document generator (for property tests): produces a
+// random document conforming to an arbitrary DTD in the paper's normal form.
+
+#ifndef SMOQE_GEN_GENERIC_GENERATOR_H_
+#define SMOQE_GEN_GENERIC_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "xml/tree.h"
+
+namespace smoqe::gen {
+
+struct GenericParams {
+  /// Expansion count for starred child types (chosen uniformly, but forced to
+  /// 0 once `soft_depth` is exceeded so recursive DTDs terminate).
+  int star_min = 0;
+  int star_max = 2;
+  int soft_depth = 8;
+  /// Unstarred/chosen branches keep expanding below soft_depth; generation
+  /// fails if a required expansion would exceed hard_depth (a DTD like
+  /// a -> b; b -> a; admits no finite documents).
+  int hard_depth = 64;
+  std::vector<std::string> text_values = {"alpha", "beta", "gamma", "delta"};
+  uint64_t seed = 7;
+};
+
+StatusOr<xml::Tree> GenerateFromDtd(const dtd::Dtd& dtd,
+                                    const GenericParams& params);
+
+}  // namespace smoqe::gen
+
+#endif  // SMOQE_GEN_GENERIC_GENERATOR_H_

@@ -1,0 +1,39 @@
+// ToXGene substitute: synthesizes hospital documents conforming to the
+// paper's Fig. 1(a) DTD (see gen/fixtures.h for the DTD itself).
+//
+// The paper's datasets ranged from 7MB to 70MB in 7MB steps, each step adding
+// the medical history of ~10,000 patients, tree depth <= 13, with element
+// nodes dominating (303,714 elements / 151,187 texts at 7MB). This generator
+// reproduces those shape characteristics: document size scales linearly in
+// `patients`, every patient carries visits (each a test or a medication with
+// a diagnosis), a recursive ancestor chain (parent/patient), and optional
+// sibling histories; `heart_disease_prob` controls filter selectivity.
+
+#ifndef SMOQE_GEN_HOSPITAL_GENERATOR_H_
+#define SMOQE_GEN_HOSPITAL_GENERATOR_H_
+
+#include <cstdint>
+
+#include "xml/tree.h"
+
+namespace smoqe::gen {
+
+struct HospitalParams {
+  int patients = 1000;         // in-patients (each adds ~30-45 element nodes)
+  int departments = 5;         // patients are distributed round-robin
+  int max_ancestor_depth = 3;  // longest parent/patient chain
+  double parent_prob = 0.7;    // chance a (remaining-depth) ancestor exists
+  double sibling_prob = 0.25;  // chance of one sibling history per patient
+  int visits_min = 1;
+  int visits_max = 3;
+  double medication_prob = 0.7;    // visit treatment: medication vs test
+  double heart_disease_prob = 0.1; // P(diagnosis text == "heart disease")
+  uint64_t seed = 42;
+};
+
+/// Deterministic for a fixed parameter set (including seed).
+xml::Tree GenerateHospital(const HospitalParams& params);
+
+}  // namespace smoqe::gen
+
+#endif  // SMOQE_GEN_HOSPITAL_GENERATOR_H_

@@ -1,0 +1,92 @@
+#include "gen/query_generator.h"
+
+namespace smoqe::gen {
+
+namespace {
+
+class QueryGen {
+ public:
+  QueryGen(const QueryGenParams& p, std::mt19937_64* rng) : p_(p), rng_(*rng) {}
+
+  xpath::PathPtr Path(int depth) {
+    // Leaves when the budget runs out.
+    if (depth <= 0) return Leaf();
+    switch (Range(0, 9)) {
+      case 0:
+      case 1:
+        return Leaf();
+      case 2:
+      case 3:
+      case 4:
+        return xpath::Seq(Path(depth - 1), Path(depth - 1));
+      case 5:
+        return xpath::UnionOf(Path(depth - 1), Path(depth - 1));
+      case 6:
+        if (p_.allow_star) return xpath::Star(Path(depth - 1));
+        return xpath::Seq(xpath::DescendantOrSelf(), Leaf());
+      case 7:
+        if (p_.allow_filters) {
+          return xpath::WithFilter(Path(depth - 1), Filter(depth - 1));
+        }
+        return Leaf();
+      default:
+        return xpath::Seq(Leaf(), Path(depth - 1));
+    }
+  }
+
+  xpath::FilterPtr Filter(int depth) {
+    if (depth <= 0) return FilterLeaf();
+    switch (Range(0, 5)) {
+      case 0:
+        return FilterLeaf();
+      case 1:
+        if (p_.allow_negation) return xpath::FNot(Filter(depth - 1));
+        return FilterLeaf();
+      case 2:
+        return xpath::FAnd(Filter(depth - 1), Filter(depth - 1));
+      case 3:
+        return xpath::FOr(Filter(depth - 1), Filter(depth - 1));
+      default:
+        return xpath::FPath(Path(depth - 1));
+    }
+  }
+
+ private:
+  int Range(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  xpath::PathPtr Leaf() {
+    switch (Range(0, 5)) {
+      case 0:
+        return xpath::Eps();
+      case 1:
+        return xpath::Wildcard();
+      default:
+        return xpath::Label(p_.labels[Range(0, static_cast<int>(p_.labels.size()) - 1)]);
+    }
+  }
+
+  xpath::FilterPtr FilterLeaf() {
+    if (p_.allow_position && Range(0, 5) == 0) {
+      return xpath::FPositionEquals(Range(1, 3));
+    }
+    if (!p_.text_values.empty() && Range(0, 2) == 0) {
+      return xpath::FTextEquals(
+          Leaf(), p_.text_values[Range(0, static_cast<int>(p_.text_values.size()) - 1)]);
+    }
+    return xpath::FPath(Leaf());
+  }
+
+  const QueryGenParams& p_;
+  std::mt19937_64& rng_;
+};
+
+}  // namespace
+
+xpath::PathPtr RandomQuery(const QueryGenParams& params, std::mt19937_64* rng) {
+  QueryGen gen(params, rng);
+  return gen.Path(params.max_depth);
+}
+
+}  // namespace smoqe::gen

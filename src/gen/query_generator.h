@@ -1,0 +1,30 @@
+// Random Xreg / X query generator for property-based tests.
+
+#ifndef SMOQE_GEN_QUERY_GENERATOR_H_
+#define SMOQE_GEN_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "xpath/ast.h"
+
+namespace smoqe::gen {
+
+struct QueryGenParams {
+  std::vector<std::string> labels;       // step alphabet (required)
+  std::vector<std::string> text_values;  // for text()='c' filters
+  int max_depth = 4;                     // AST nesting budget
+  bool allow_star = true;                // false => X fragment only ('//')
+  bool allow_filters = true;
+  bool allow_negation = true;
+  bool allow_position = false;
+};
+
+/// Draws a random query. Deterministic given the RNG state.
+xpath::PathPtr RandomQuery(const QueryGenParams& params, std::mt19937_64* rng);
+
+}  // namespace smoqe::gen
+
+#endif  // SMOQE_GEN_QUERY_GENERATOR_H_

@@ -1,0 +1,36 @@
+#include "hype/cans.h"
+
+#include <algorithm>
+
+namespace smoqe::hype {
+
+std::vector<xml::NodeId> CansGraph::CollectAnswers() const {
+  std::vector<xml::NodeId> answers;
+  std::vector<bool> seen(vertices_.size(), false);
+  std::vector<VertexId> work;
+  for (VertexId v = 0; v < static_cast<VertexId>(vertices_.size()); ++v) {
+    if (vertices_[v].initial && vertices_[v].alive) {
+      seen[v] = true;
+      work.push_back(v);
+    }
+  }
+  while (!work.empty()) {
+    VertexId v = work.back();
+    work.pop_back();
+    if (vertices_[v].answer != xml::kNullNode) {
+      answers.push_back(vertices_[v].answer);
+    }
+    for (int32_t e = vertices_[v].first_edge; e != -1; e = edges_[e].next) {
+      VertexId to = edges_[e].to;
+      if (!seen[to] && vertices_[to].alive) {
+        seen[to] = true;
+        work.push_back(to);
+      }
+    }
+  }
+  std::sort(answers.begin(), answers.end());
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+}  // namespace smoqe::hype

@@ -1,0 +1,66 @@
+// The cans ("candidate answers") DAG of Algorithm HyPE (Section 6).
+//
+// During HyPE's single top-down pass, every (tree node, NFA state) pair the
+// run touches becomes a vertex; NFA transitions become edges (ε-edges stay
+// within one tree node, label edges cross to a child). When an annotated
+// state's AFA evaluates to false at a node, that vertex is deleted,
+// disconnecting every candidate answer that depended on the failed filter.
+// Phase two is a single traversal from the initial vertices: answers are the
+// ν-annotations of reachable, surviving final-state vertices.
+
+#ifndef SMOQE_HYPE_CANS_H_
+#define SMOQE_HYPE_CANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/mfa.h"
+#include "xml/tree.h"
+
+namespace smoqe::hype {
+
+class CansGraph {
+ public:
+  using VertexId = int32_t;
+
+  VertexId AddVertex(bool initial) {
+    vertices_.push_back({xml::kNullNode, -1, initial, true});
+    return static_cast<VertexId>(vertices_.size() - 1);
+  }
+
+  void AddEdge(VertexId from, VertexId to) {
+    edges_.push_back({to, vertices_[from].first_edge});
+    vertices_[from].first_edge = static_cast<int32_t>(edges_.size() - 1);
+  }
+
+  /// Removes the vertex (its AFA failed): phase two will not pass through it.
+  void DeleteVertex(VertexId v) { vertices_[v].alive = false; }
+
+  /// ν(v) := n -- the vertex corresponds to a final state reached at n.
+  void SetAnswer(VertexId v, xml::NodeId n) { vertices_[v].answer = n; }
+
+  /// Phase two: one traversal from the alive initial vertices; returns the
+  /// sorted, deduplicated answers.
+  std::vector<xml::NodeId> CollectAnswers() const;
+
+  int64_t num_vertices() const { return static_cast<int64_t>(vertices_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+ private:
+  struct Vertex {
+    xml::NodeId answer;
+    int32_t first_edge;
+    bool initial;
+    bool alive;
+  };
+  struct Edge {
+    VertexId to;
+    int32_t next;
+  };
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace smoqe::hype
+
+#endif  // SMOQE_HYPE_CANS_H_

@@ -1,0 +1,96 @@
+#include "hype/index.h"
+
+#include <cassert>
+#include <string>
+
+namespace smoqe::hype {
+
+namespace {
+
+struct SetHasher {
+  size_t operator()(const std::vector<uint64_t>& v) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t w : v) {
+      h ^= std::hash<uint64_t>()(w);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+SubtreeLabelIndex SubtreeLabelIndex::Build(const xml::Tree& tree, Mode mode,
+                                           int threshold) {
+  SubtreeLabelIndex index;
+  index.mode_ = mode;
+  index.num_labels_ = tree.labels().size();
+  index.words_ = (index.num_labels_ + 63) / 64;
+  if (index.words_ == 0) index.words_ = 1;
+  const int words = index.words_;
+
+  // Bottom-up: parents precede children in node-id order, so a reverse scan
+  // sees every child before its parent.
+  std::vector<std::vector<uint64_t>> sets(
+      tree.size(), std::vector<uint64_t>(words, 0));
+  std::vector<int32_t> elem_count(tree.size(), 0);
+  for (xml::NodeId id = tree.size() - 1; id >= 0; --id) {
+    if (!tree.is_element(id)) continue;
+    xml::NodeId p = tree.parent(id);
+    if (p != xml::kNullNode) {
+      LabelId l = tree.label(id);
+      sets[p][l / 64] |= uint64_t{1} << (l % 64);
+      for (int w = 0; w < words; ++w) sets[p][w] |= sets[id][w];
+      elem_count[p] += elem_count[id] + 1;
+    }
+  }
+
+  std::unordered_map<std::vector<uint64_t>, int32_t, SetHasher> interned;
+  auto intern = [&](const std::vector<uint64_t>& s) {
+    auto it = interned.find(s);
+    if (it != interned.end()) return it->second;
+    int32_t id = static_cast<int32_t>(interned.size());
+    interned.emplace(s, id);
+    index.set_pool_.insert(index.set_pool_.end(), s.begin(), s.end());
+    return id;
+  };
+
+  if (mode == Mode::kFull) {
+    index.per_node_.resize(tree.size(), 0);
+    for (xml::NodeId id = 0; id < tree.size(); ++id) {
+      if (tree.is_element(id)) index.per_node_[id] = intern(sets[id]);
+    }
+  } else {
+    index.has_entry_.assign((tree.size() + 63) / 64, 0);
+    for (xml::NodeId id = 0; id < tree.size(); ++id) {
+      if (!tree.is_element(id)) continue;
+      if (id == tree.root() || elem_count[id] >= threshold) {
+        index.sparse_.emplace(id, intern(sets[id]));
+        index.has_entry_[id / 64] |= uint64_t{1} << (id % 64);
+      }
+    }
+  }
+  return index;
+}
+
+int32_t SubtreeLabelIndex::SetForContext(const xml::Tree& tree,
+                                         xml::NodeId context) const {
+  if (mode_ == Mode::kFull) return per_node_[context];
+  for (xml::NodeId n = context; n != xml::kNullNode; n = tree.parent(n)) {
+    auto it = sparse_.find(n);
+    if (it != sparse_.end()) return it->second;
+  }
+  assert(false && "root must be indexed");
+  return 0;
+}
+
+size_t SubtreeLabelIndex::MemoryBytes() const {
+  size_t bytes = set_pool_.size() * sizeof(uint64_t);
+  bytes += per_node_.size() * sizeof(int32_t);
+  bytes += has_entry_.size() * sizeof(uint64_t);
+  // unordered_map overhead approximated as key+value+pointer per entry.
+  bytes += sparse_.size() * (sizeof(xml::NodeId) + sizeof(int32_t) + sizeof(void*));
+  return bytes;
+}
+
+}  // namespace smoqe::hype

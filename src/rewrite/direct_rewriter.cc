@@ -1,0 +1,229 @@
+#include "rewrite/direct_rewriter.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "rewrite/skeleton.h"
+#include "xpath/x_fragment.h"
+
+namespace smoqe::rewrite {
+
+namespace {
+
+using dtd::TypeId;
+using internal::SkeletonNfa;
+using xpath::FilterPtr;
+using xpath::PathPtr;
+
+FilterPtr FalseFilter() {
+  static const FilterPtr f = xpath::FNot(xpath::FPath(xpath::Eps()));
+  return f;
+}
+
+/// State elimination over the (skeleton x view DTD) product with Xreg-AST
+/// edge weights. `accept` decides which view types may end the path.
+class DirectProduct {
+ public:
+  DirectProduct(const view::ViewDef& view,
+                std::map<std::pair<const xpath::Filter*, TypeId>, FilterPtr>*
+                    filter_memo)
+      : view_(view), vdtd_(view.view_dtd()), filter_memo_(*filter_memo) {}
+
+  /// Returns the rewritten path, or nullptr when no accepting run exists.
+  StatusOr<PathPtr> Rewrite(const PathPtr& path, TypeId start_type,
+                            const std::vector<bool>& accept_type);
+
+  StatusOr<FilterPtr> RewriteFilter(const FilterPtr& f, TypeId a);
+
+ private:
+  static constexpr int kStartNode = 0;
+  static constexpr int kEndNode = 1;
+
+  // Dense weight matrix helpers over the per-call node set.
+  void AddEdge(std::vector<std::vector<PathPtr>>* m, int i, int j, PathPtr w) {
+    PathPtr& slot = (*m)[i][j];
+    slot = slot == nullptr ? std::move(w) : xpath::UnionOf(slot, std::move(w));
+  }
+
+  const view::ViewDef& view_;
+  const dtd::Dtd& vdtd_;
+  std::map<std::pair<const xpath::Filter*, TypeId>, FilterPtr>& filter_memo_;
+};
+
+StatusOr<PathPtr> DirectProduct::Rewrite(const PathPtr& path, TypeId start_type,
+                                         const std::vector<bool>& accept_type) {
+  SkeletonNfa skel = internal::BuildSkeleton(path);
+
+  // Discover product states reachable from (start, start_type).
+  std::map<std::pair<int, TypeId>, int> node_of;
+  std::vector<std::pair<int, TypeId>> nodes;  // aligned with node index - 2
+  std::vector<std::pair<int, TypeId>> work;
+  auto node = [&](int q, TypeId a) {
+    auto it = node_of.find({q, a});
+    if (it != node_of.end()) return it->second;
+    int id = static_cast<int>(nodes.size()) + 2;
+    node_of.emplace(std::make_pair(q, a), id);
+    nodes.emplace_back(q, a);
+    work.emplace_back(q, a);
+    return id;
+  };
+  node(skel.start, start_type);
+
+  struct PendingEdge {
+    int from;
+    int to_q;
+    TypeId to_a;
+    PathPtr weight;
+  };
+  std::vector<PendingEdge> pending;
+  std::vector<std::pair<int, int>> final_nodes;  // (node, q)
+
+  while (!work.empty()) {
+    auto [q, a] = work.back();
+    work.pop_back();
+    int self = node_of.at({q, a});
+    const internal::SkelState& sk = skel.states[q];
+    if (sk.is_final && accept_type[a]) final_nodes.emplace_back(self, q);
+    for (int e : sk.eps) {
+      pending.push_back({self, e, a, xpath::Eps()});
+      node(e, a);
+    }
+    for (const internal::SkelTransition& t : sk.trans) {
+      for (TypeId b : vdtd_.ChildTypes(a)) {
+        if (!t.wildcard && vdtd_.type_name(b) != t.label) continue;
+        const PathPtr* sigma = view_.annotation(a, b);
+        if (sigma == nullptr) {
+          return Status::Internal("validated view lacks annotation (" +
+                                  vdtd_.type_name(a) + ", " +
+                                  vdtd_.type_name(b) + ")");
+        }
+        pending.push_back({self, t.to, b, *sigma});
+        node(t.to, b);
+      }
+    }
+  }
+
+  int n = static_cast<int>(nodes.size()) + 2;
+  std::vector<std::vector<PathPtr>> m(n, std::vector<PathPtr>(n));
+
+  // Entering a product state whose skeleton state carries a filter requires
+  // the (rewritten) filter to hold at the node just reached: weight `.[q']`.
+  auto into_weight = [&](PathPtr w, int q, TypeId a) -> StatusOr<PathPtr> {
+    const FilterPtr& f = skel.states[q].filter;
+    if (f == nullptr) return w;
+    SMOQE_ASSIGN_OR_RETURN(FilterPtr rewritten, RewriteFilter(f, a));
+    return xpath::Seq(std::move(w),
+                      xpath::WithFilter(xpath::Eps(), std::move(rewritten)));
+  };
+
+  {
+    SMOQE_ASSIGN_OR_RETURN(
+        PathPtr w, into_weight(xpath::Eps(), skel.start, start_type));
+    AddEdge(&m, kStartNode, node_of.at({skel.start, start_type}), std::move(w));
+  }
+  for (const PendingEdge& e : pending) {
+    SMOQE_ASSIGN_OR_RETURN(PathPtr w, into_weight(e.weight, e.to_q, e.to_a));
+    AddEdge(&m, e.from, node_of.at({e.to_q, e.to_a}), std::move(w));
+  }
+  for (auto [v, q] : final_nodes) {
+    AddEdge(&m, v, kEndNode, xpath::Eps());
+  }
+
+  // Eliminate product nodes one by one.
+  for (int v = 2; v < n; ++v) {
+    PathPtr star;
+    if (m[v][v] != nullptr && m[v][v]->kind != xpath::PathKind::kEmpty) {
+      star = xpath::Star(m[v][v]);
+    }
+    m[v][v] = nullptr;
+    for (int i = 0; i < n; ++i) {
+      if (i == v || m[i][v] == nullptr) continue;
+      for (int j = 0; j < n; ++j) {
+        if (j == v || m[v][j] == nullptr) continue;
+        PathPtr w = m[i][v];
+        if (star != nullptr) w = xpath::Seq(w, star);
+        w = xpath::Seq(std::move(w), m[v][j]);
+        AddEdge(&m, i, j, std::move(w));
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      m[i][v] = nullptr;
+      m[v][i] = nullptr;
+    }
+  }
+  return m[kStartNode][kEndNode];  // may be nullptr
+}
+
+StatusOr<FilterPtr> DirectProduct::RewriteFilter(const FilterPtr& f, TypeId a) {
+  auto it = filter_memo_.find({f.get(), a});
+  if (it != filter_memo_.end()) return it->second;
+
+  using xpath::FilterKind;
+  FilterPtr result;
+  switch (f->kind) {
+    case FilterKind::kPath:
+    case FilterKind::kTextEquals: {
+      std::vector<bool> accept(vdtd_.num_types(), f->kind == FilterKind::kPath);
+      if (f->kind == FilterKind::kTextEquals) {
+        for (TypeId t = 0; t < vdtd_.num_types(); ++t) {
+          accept[t] = vdtd_.production(t).kind == dtd::ContentKind::kText;
+        }
+      }
+      SMOQE_ASSIGN_OR_RETURN(PathPtr p, Rewrite(f->path, a, accept));
+      if (p == nullptr) {
+        result = FalseFilter();
+      } else if (f->kind == FilterKind::kPath) {
+        result = xpath::FPath(std::move(p));
+      } else {
+        result = xpath::FTextEquals(std::move(p), f->text);
+      }
+      break;
+    }
+    case FilterKind::kPositionEquals:
+      return Status::Unimplemented(
+          "position() in a view query cannot be rewritten: view positions do "
+          "not correspond to source positions");
+    case FilterKind::kNot: {
+      SMOQE_ASSIGN_OR_RETURN(FilterPtr inner, RewriteFilter(f->left, a));
+      result = xpath::FNot(std::move(inner));
+      break;
+    }
+    case FilterKind::kAnd:
+    case FilterKind::kOr: {
+      SMOQE_ASSIGN_OR_RETURN(FilterPtr l, RewriteFilter(f->left, a));
+      SMOQE_ASSIGN_OR_RETURN(FilterPtr r, RewriteFilter(f->right, a));
+      result = f->kind == FilterKind::kAnd ? xpath::FAnd(std::move(l), std::move(r))
+                                           : xpath::FOr(std::move(l), std::move(r));
+      break;
+    }
+  }
+  filter_memo_.emplace(std::make_pair(f.get(), a), result);
+  return result;
+}
+
+}  // namespace
+
+xpath::PathPtr EmptyQuery() {
+  static const PathPtr empty = xpath::WithFilter(xpath::Eps(), FalseFilter());
+  return empty;
+}
+
+StatusOr<xpath::PathPtr> DirectRewrite(const xpath::PathPtr& query,
+                                       const view::ViewDef& view) {
+  SMOQE_RETURN_IF_ERROR(view.Validate());
+  if (xpath::UsesPosition(query)) {
+    return Status::Unimplemented(
+        "position() in a view query cannot be rewritten: view positions do "
+        "not correspond to source positions");
+  }
+  std::map<std::pair<const xpath::Filter*, TypeId>, FilterPtr> filter_memo;
+  DirectProduct product(view, &filter_memo);
+  std::vector<bool> accept(view.view_dtd().num_types(), true);
+  SMOQE_ASSIGN_OR_RETURN(
+      PathPtr result, product.Rewrite(query, view.view_dtd().root(), accept));
+  if (result == nullptr) return EmptyQuery();
+  return result;
+}
+
+}  // namespace smoqe::rewrite

@@ -1,0 +1,35 @@
+// Direct query rewriting: Q over the view -> an *explicit* Xreg query Q' over
+// the source with Q(σ(T)) = Q'(T) (Theorem 3.2: Xreg is closed under
+// rewriting for arbitrary views).
+//
+// The construction runs state elimination over the product of Q's NFA with
+// the view DTD graph, with Xreg ASTs as edge weights (each view edge (A, B)
+// contributes σ(A,B) verbatim; view filters are rewritten recursively and
+// attached as `.[q']` steps). The output can be exponential in |Q| and |D_V|
+// -- Corollary 3.3 shows this is unavoidable for explicit rewritings, even
+// for non-recursive views -- which is precisely why SMOQE rewrites to MFAs
+// instead (rewriter.h). bench_blowup measures the gap.
+
+#ifndef SMOQE_REWRITE_DIRECT_REWRITER_H_
+#define SMOQE_REWRITE_DIRECT_REWRITER_H_
+
+#include "common/status.h"
+#include "view/view_def.h"
+#include "xpath/ast.h"
+
+namespace smoqe::rewrite {
+
+/// Rewrites `query` into an equivalent explicit Xreg query on the source.
+/// ASTs share subtrees internally, so the in-memory footprint stays
+/// polynomial; xpath::ExpandedSize() reports the explicit size the paper's
+/// lower bound speaks about.
+StatusOr<xpath::PathPtr> DirectRewrite(const xpath::PathPtr& query,
+                                       const view::ViewDef& view);
+
+/// An Xreg query that selects nothing (used when no run can succeed; the
+/// grammar has no empty-set constant, so this is `.[not(.)]`).
+xpath::PathPtr EmptyQuery();
+
+}  // namespace smoqe::rewrite
+
+#endif  // SMOQE_REWRITE_DIRECT_REWRITER_H_

@@ -1,0 +1,376 @@
+#include "rewrite/rewriter.h"
+
+#include <functional>
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "automata/compiler.h"
+#include "rewrite/skeleton.h"
+#include "xpath/x_fragment.h"
+
+namespace smoqe::rewrite {
+
+namespace internal {
+
+namespace {
+
+struct SkelFrag {
+  int entry;
+  int exit;
+};
+
+class SkeletonBuilder {
+ public:
+  explicit SkeletonBuilder(SkeletonNfa* nfa) : nfa_(*nfa) {}
+
+  SkelFrag Build(const xpath::PathPtr& p) {
+    using xpath::PathKind;
+    switch (p->kind) {
+      case PathKind::kEmpty: {
+        int s = New();
+        return {s, s};
+      }
+      case PathKind::kLabel: {
+        int entry = New(), exit = New();
+        nfa_.states[entry].trans.push_back({p->label, false, exit});
+        return {entry, exit};
+      }
+      case PathKind::kWildcard: {
+        int entry = New(), exit = New();
+        nfa_.states[entry].trans.push_back({"", true, exit});
+        return {entry, exit};
+      }
+      case PathKind::kSeq: {
+        SkelFrag f1 = Build(p->left);
+        SkelFrag f2 = Build(p->right);
+        nfa_.states[f1.exit].eps.push_back(f2.entry);
+        return {f1.entry, f2.exit};
+      }
+      case PathKind::kUnion: {
+        int entry = New(), exit = New();
+        SkelFrag f1 = Build(p->left);
+        SkelFrag f2 = Build(p->right);
+        nfa_.states[entry].eps.push_back(f1.entry);
+        nfa_.states[entry].eps.push_back(f2.entry);
+        nfa_.states[f1.exit].eps.push_back(exit);
+        nfa_.states[f2.exit].eps.push_back(exit);
+        return {entry, exit};
+      }
+      case PathKind::kStar: {
+        int entry = New(), exit = New();
+        SkelFrag body = Build(p->left);
+        nfa_.states[entry].eps.push_back(body.entry);
+        nfa_.states[entry].eps.push_back(exit);
+        nfa_.states[body.exit].eps.push_back(body.entry);
+        nfa_.states[body.exit].eps.push_back(exit);
+        return {entry, exit};
+      }
+      case PathKind::kFilter: {
+        SkelFrag f = Build(p->left);
+        int guard = New();
+        nfa_.states[guard].filter = p->filter;
+        nfa_.states[f.exit].eps.push_back(guard);
+        return {f.entry, guard};
+      }
+    }
+    return {-1, -1};
+  }
+
+ private:
+  int New() {
+    nfa_.states.emplace_back();
+    return static_cast<int>(nfa_.states.size() - 1);
+  }
+  SkeletonNfa& nfa_;
+};
+
+}  // namespace
+
+SkeletonNfa BuildSkeleton(const xpath::PathPtr& query) {
+  SkeletonNfa nfa;
+  SkeletonBuilder builder(&nfa);
+  SkelFrag frag = builder.Build(query);
+  nfa.start = frag.entry;
+  nfa.states[frag.exit].is_final = true;
+  return nfa;
+}
+
+}  // namespace internal
+
+namespace {
+
+using automata::kNoState;
+using automata::Mfa;
+using automata::MfaBuilder;
+using automata::PredKind;
+using automata::StateId;
+using dtd::TypeId;
+using internal::SkeletonNfa;
+
+/// The product construction. One instance per RewriteToMfa call.
+class Rewriter {
+ public:
+  Rewriter(const view::ViewDef& view, Mfa* mfa)
+      : view_(view), vdtd_(view.view_dtd()), mfa_(*mfa), builder_(mfa) {}
+
+  Status Run(const xpath::PathPtr& query) {
+    skeleton_ = internal::BuildSkeleton(query);
+    SMOQE_ASSIGN_OR_RETURN(StateId start,
+                           ProductState(skeleton_.start, vdtd_.root()));
+    mfa_.start = start;
+    while (!worklist_.empty()) {
+      auto [q, a] = worklist_.back();
+      worklist_.pop_back();
+      SMOQE_RETURN_IF_ERROR(Expand(q, a));
+    }
+    return Status::OK();
+  }
+
+ private:
+  // ---- selecting-NFA product ----
+
+  StatusOr<StateId> ProductState(int q, TypeId a) {
+    auto it = product_.find({q, a});
+    if (it != product_.end()) return it->second;
+    StateId s = builder_.NewNfaState();
+    product_.emplace(std::make_pair(q, a), s);
+    worklist_.emplace_back(q, a);
+    const internal::SkelState& sk = skeleton_.states[q];
+    if (sk.is_final) builder_.MarkFinal(s);
+    if (sk.filter != nullptr) {
+      SMOQE_ASSIGN_OR_RETURN(StateId entry, RewriteFilter(sk.filter, a));
+      builder_.Annotate(s, entry);
+    }
+    return s;
+  }
+
+  Status Expand(int q, TypeId a) {
+    StateId self = product_.at({q, a});
+    const internal::SkelState& sk = skeleton_.states[q];
+    for (int e : sk.eps) {
+      SMOQE_ASSIGN_OR_RETURN(StateId to, ProductState(e, a));
+      builder_.AddEps(self, to);
+    }
+    for (const internal::SkelTransition& t : sk.trans) {
+      for (TypeId b : vdtd_.ChildTypes(a)) {
+        if (!t.wildcard && vdtd_.type_name(b) != t.label) continue;
+        const xpath::PathPtr* sigma = view_.annotation(a, b);
+        if (sigma == nullptr) {
+          return Status::Internal("validated view lacks annotation (" +
+                                  vdtd_.type_name(a) + ", " +
+                                  vdtd_.type_name(b) + ")");
+        }
+        // Splice in a fresh copy of the selecting NFA of σ(A, B); its own
+        // filters are source-level and compile directly.
+        MfaBuilder::Frag frag = builder_.BuildSelecting(*sigma);
+        SMOQE_ASSIGN_OR_RETURN(StateId to, ProductState(t.to, b));
+        builder_.AddEps(self, frag.entry);
+        builder_.AddEps(frag.exit, to);
+      }
+    }
+    return Status::OK();
+  }
+
+  // ---- filter rewriting (view-level filter AST x view type -> AFA) ----
+
+  // A continuation resolves the view type a path ends at to an AFA state
+  // (kNoState = that ending is impossible / false).
+  struct Cont {
+    std::function<StatusOr<StateId>(TypeId)> resolve;
+    int id;
+  };
+
+  Cont MakeCont(std::function<StatusOr<StateId>(TypeId)> fn) {
+    return Cont{std::move(fn), next_cont_id_++};
+  }
+
+  StateId MakeFalse() { return builder_.NewOr({}); }
+
+  StatusOr<StateId> RewriteFilter(const xpath::FilterPtr& f, TypeId a) {
+    auto it = filter_memo_.find({f.get(), a});
+    if (it != filter_memo_.end()) return it->second;
+    SMOQE_ASSIGN_OR_RETURN(StateId s, RewriteFilterUncached(f, a));
+    filter_memo_.emplace(std::make_pair(f.get(), a), s);
+    return s;
+  }
+
+  StatusOr<StateId> RewriteFilterUncached(const xpath::FilterPtr& f, TypeId a) {
+    using xpath::FilterKind;
+    switch (f->kind) {
+      case FilterKind::kPath: {
+        StateId fin = builder_.NewFinal(PredKind::kNone);
+        Cont cont = MakeCont([fin](TypeId) -> StatusOr<StateId> { return fin; });
+        SMOQE_ASSIGN_OR_RETURN(StateId s, RewritePath(f->path, a, cont));
+        return s == kNoState ? MakeFalse() : s;
+      }
+      case FilterKind::kTextEquals: {
+        // A text test can only succeed at view types with str content; the
+        // materializer copies the bound source node's text verbatim, so the
+        // predicate transfers to the source node unchanged.
+        StateId fin = builder_.NewFinal(PredKind::kTextEquals, f->text);
+        Cont cont = MakeCont([this, fin](TypeId b) -> StatusOr<StateId> {
+          if (vdtd_.production(b).kind == dtd::ContentKind::kText) return fin;
+          return kNoState;
+        });
+        SMOQE_ASSIGN_OR_RETURN(StateId s, RewritePath(f->path, a, cont));
+        return s == kNoState ? MakeFalse() : s;
+      }
+      case FilterKind::kPositionEquals:
+        return Status::Unimplemented(
+            "position() in a view query cannot be rewritten: view positions "
+            "do not correspond to source positions");
+      case FilterKind::kNot: {
+        SMOQE_ASSIGN_OR_RETURN(StateId inner, RewriteFilter(f->left, a));
+        return builder_.NewNot(inner);
+      }
+      case FilterKind::kAnd: {
+        SMOQE_ASSIGN_OR_RETURN(StateId l, RewriteFilter(f->left, a));
+        SMOQE_ASSIGN_OR_RETURN(StateId r, RewriteFilter(f->right, a));
+        return builder_.NewAnd({l, r});
+      }
+      case FilterKind::kOr: {
+        SMOQE_ASSIGN_OR_RETURN(StateId l, RewriteFilter(f->left, a));
+        SMOQE_ASSIGN_OR_RETURN(StateId r, RewriteFilter(f->right, a));
+        return builder_.NewOr({l, r});
+      }
+    }
+    return Status::Internal("unreachable filter kind");
+  }
+
+  /// AFA states for "some view node reachable from a type-`a` node via `p`
+  /// satisfies cont(ending type)", expressed over the source document.
+  /// Returns kNoState when no ending can succeed.
+  ///
+  /// Memoized per (AST node, type, continuation): continuation ids are unique
+  /// per closure, so equal keys mean the identical continuation. Without this
+  /// memo, union branches ending at the same view type would duplicate their
+  /// continuation and break the O(|Q|*|sigma|*|D_V|) bound of Theorem 5.1.
+  StatusOr<StateId> RewritePath(const xpath::PathPtr& p, TypeId a,
+                                const Cont& cont) {
+    auto key = std::make_tuple(p.get(), a, cont.id);
+    auto it = path_memo_.find(key);
+    if (it != path_memo_.end()) return it->second;
+    SMOQE_ASSIGN_OR_RETURN(StateId s, RewritePathUncached(p, a, cont));
+    path_memo_.emplace(key, s);
+    return s;
+  }
+
+  StatusOr<StateId> RewritePathUncached(const xpath::PathPtr& p, TypeId a,
+                                        const Cont& cont) {
+    using xpath::PathKind;
+    switch (p->kind) {
+      case PathKind::kEmpty:
+        return cont.resolve(a);
+      case PathKind::kLabel:
+      case PathKind::kWildcard: {
+        std::vector<StateId> branches;
+        for (TypeId b : vdtd_.ChildTypes(a)) {
+          if (p->kind == PathKind::kLabel && vdtd_.type_name(b) != p->label) {
+            continue;
+          }
+          SMOQE_ASSIGN_OR_RETURN(StateId after, cont.resolve(b));
+          if (after == kNoState) continue;
+          const xpath::PathPtr* sigma = view_.annotation(a, b);
+          if (sigma == nullptr) {
+            return Status::Internal("validated view lacks annotation (" +
+                                    vdtd_.type_name(a) + ", " +
+                                    vdtd_.type_name(b) + ")");
+          }
+          branches.push_back(builder_.BuildAfaPath(*sigma, after));
+        }
+        if (branches.empty()) return kNoState;
+        if (branches.size() == 1) return branches[0];
+        return builder_.NewOr(std::move(branches));
+      }
+      case PathKind::kSeq: {
+        // cont for the left path: continue with the right path per type.
+        const xpath::PathPtr& right = p->right;
+        Cont mid = MakeCont([this, right, &cont](TypeId b) -> StatusOr<StateId> {
+          return RewritePath(right, b, cont);
+        });
+        return RewritePath(p->left, a, mid);
+      }
+      case PathKind::kUnion: {
+        SMOQE_ASSIGN_OR_RETURN(StateId l, RewritePath(p->left, a, cont));
+        SMOQE_ASSIGN_OR_RETURN(StateId r, RewritePath(p->right, a, cont));
+        if (l == kNoState) return r;
+        if (r == kNoState) return l;
+        return builder_.NewOr({l, r});
+      }
+      case PathKind::kStar:
+        return StarLoop(p, a, cont);
+      case PathKind::kFilter: {
+        // p[q]: the node reached by p must satisfy q AND the continuation.
+        const xpath::FilterPtr filter = p->filter;
+        Cont mid =
+            MakeCont([this, filter, &cont](TypeId b) -> StatusOr<StateId> {
+              SMOQE_ASSIGN_OR_RETURN(StateId after, cont.resolve(b));
+              if (after == kNoState) return kNoState;
+              SMOQE_ASSIGN_OR_RETURN(StateId guard, RewriteFilter(filter, b));
+              return builder_.NewAnd({guard, after});
+            });
+        return RewritePath(p->left, a, mid);
+      }
+    }
+    return Status::Internal("unreachable path kind");
+  }
+
+  StatusOr<StateId> StarLoop(const xpath::PathPtr& star, TypeId a,
+                             const Cont& cont) {
+    // One OR loop state per (star node, type, original continuation); the
+    // loop either exits through cont or runs the body once more. Cycles pass
+    // through the OR only, preserving the split property. The loop-back
+    // continuation gets a *fresh* id (it is a different function from cont);
+    // re-entry at another type still finds the loop state because it routes
+    // through this memo, keyed by the original cont.id.
+    auto key = std::make_tuple(star.get(), a, cont.id);
+    auto it = star_memo_.find(key);
+    if (it != star_memo_.end()) return it->second;
+    StateId loop = builder_.NewOr({});
+    star_memo_.emplace(key, loop);
+    const xpath::PathPtr body = star->left;
+    Cont back = MakeCont([this, star, &cont](TypeId b) -> StatusOr<StateId> {
+      return StarLoop(star, b, cont);
+    });
+    SMOQE_ASSIGN_OR_RETURN(StateId body_entry, RewritePath(body, a, back));
+    SMOQE_ASSIGN_OR_RETURN(StateId exit, cont.resolve(a));
+    std::vector<StateId> ops;
+    if (exit != kNoState) ops.push_back(exit);
+    if (body_entry != kNoState) ops.push_back(body_entry);
+    builder_.SetOrOperands(loop, std::move(ops));
+    return loop;
+  }
+
+  const view::ViewDef& view_;
+  const dtd::Dtd& vdtd_;
+  Mfa& mfa_;
+  MfaBuilder builder_;
+  SkeletonNfa skeleton_;
+
+  std::map<std::pair<int, TypeId>, StateId> product_;
+  std::vector<std::pair<int, TypeId>> worklist_;
+  std::map<std::pair<const xpath::Filter*, TypeId>, StateId> filter_memo_;
+  std::map<std::tuple<const xpath::Path*, TypeId, int>, StateId> star_memo_;
+  std::map<std::tuple<const xpath::Path*, TypeId, int>, StateId> path_memo_;
+  int next_cont_id_ = 0;
+};
+
+}  // namespace
+
+StatusOr<automata::Mfa> RewriteToMfa(const xpath::PathPtr& query,
+                                     const view::ViewDef& view) {
+  SMOQE_RETURN_IF_ERROR(view.Validate());
+  if (xpath::UsesPosition(query)) {
+    return Status::Unimplemented(
+        "position() in a view query cannot be rewritten: view positions do "
+        "not correspond to source positions");
+  }
+  automata::Mfa mfa;
+  Rewriter rewriter(view, &mfa);
+  SMOQE_RETURN_IF_ERROR(rewriter.Run(query));
+  return mfa;
+}
+
+}  // namespace smoqe::rewrite

@@ -1,0 +1,33 @@
+// Algorithm rewrite (Section 5): given an Xreg query Q over the view DTD D_V
+// and a view definition σ : D -> D_V, produce an MFA M over the source DTD D
+// such that for every document T of D,  root[[M]](T) = Q(σ(T)) (view answers
+// compared through the materializer's provenance binding).
+//
+// Construction: the Thompson NFA of Q (over view labels) is put in product
+// with the view DTD graph -- states are (q, A) pairs -- and every label move
+// q -B-> q' at view type A is replaced by a fresh instantiation of the
+// selecting NFA of σ(A, B), spliced in with ε-transitions. View-level filters
+// annotate product states with AFAs rewritten by the same product idea, with
+// nested filters flattened into a single AFA (Example 5.1 / 5.2). The result
+// has size O(|Q| * |σ| * |D_V|) (Theorem 5.1) -- in contrast to the
+// EXPTIME-complete explicit rewriting (Corollary 3.3, see direct_rewriter.h).
+
+#ifndef SMOQE_REWRITE_REWRITER_H_
+#define SMOQE_REWRITE_REWRITER_H_
+
+#include "automata/mfa.h"
+#include "common/status.h"
+#include "view/view_def.h"
+#include "xpath/ast.h"
+
+namespace smoqe::rewrite {
+
+/// Rewrites `query` (over the view) into an equivalent MFA over the source.
+/// Fails when the view is invalid or the query uses position() (view
+/// positions are not translatable to source positions).
+StatusOr<automata::Mfa> RewriteToMfa(const xpath::PathPtr& query,
+                                     const view::ViewDef& view);
+
+}  // namespace smoqe::rewrite
+
+#endif  // SMOQE_REWRITE_REWRITER_H_

@@ -1,0 +1,40 @@
+// Internal: a Thompson NFA of a query over the *view* alphabet, with filters
+// kept as unrewritten ASTs on guard states. Both the MFA rewriter and the
+// direct (Xreg-to-Xreg) rewriter build their product construction on top of
+// this skeleton.
+
+#ifndef SMOQE_REWRITE_SKELETON_H_
+#define SMOQE_REWRITE_SKELETON_H_
+
+#include <string>
+#include <vector>
+
+#include "xpath/ast.h"
+
+namespace smoqe::rewrite::internal {
+
+struct SkelTransition {
+  std::string label;  // view label; empty + wildcard for '*'
+  bool wildcard = false;
+  int to = -1;
+};
+
+struct SkelState {
+  std::vector<SkelTransition> trans;
+  std::vector<int> eps;
+  bool is_final = false;
+  xpath::FilterPtr filter;  // view-level filter guarding this state, or null
+};
+
+struct SkeletonNfa {
+  std::vector<SkelState> states;
+  int start = -1;
+};
+
+/// Thompson construction over the view alphabet. Filters are attached to
+/// fresh guard states (one filter per state).
+SkeletonNfa BuildSkeleton(const xpath::PathPtr& query);
+
+}  // namespace smoqe::rewrite::internal
+
+#endif  // SMOQE_REWRITE_SKELETON_H_

@@ -1,0 +1,58 @@
+#include "view/view_def.h"
+
+#include "xpath/x_fragment.h"
+
+namespace smoqe::view {
+
+Status ViewDef::SetAnnotation(std::string_view a, std::string_view b,
+                              xpath::PathPtr query) {
+  dtd::TypeId ta = view_dtd_.FindType(a);
+  dtd::TypeId tb = view_dtd_.FindType(b);
+  if (ta == dtd::kNoType || tb == dtd::kNoType) {
+    return Status::NotFound("view type '" + std::string(ta == dtd::kNoType ? a : b) +
+                            "' is not declared in the view DTD");
+  }
+  if (!view_dtd_.HasEdge(ta, tb)) {
+    return Status::InvalidArgument("(" + std::string(a) + ", " + std::string(b) +
+                                   ") is not an edge of the view DTD");
+  }
+  sigma_[{ta, tb}] = std::move(query);
+  return Status::OK();
+}
+
+const xpath::PathPtr* ViewDef::annotation(dtd::TypeId a, dtd::TypeId b) const {
+  auto it = sigma_.find({a, b});
+  return it == sigma_.end() ? nullptr : &it->second;
+}
+
+Status ViewDef::Validate() const {
+  SMOQE_RETURN_IF_ERROR(source_dtd_.Validate());
+  SMOQE_RETURN_IF_ERROR(view_dtd_.Validate());
+  for (dtd::TypeId a = 0; a < view_dtd_.num_types(); ++a) {
+    for (dtd::TypeId b : view_dtd_.ChildTypes(a)) {
+      const xpath::PathPtr* q = annotation(a, b);
+      if (q == nullptr) {
+        return Status::FailedPrecondition(
+            "view edge (" + view_dtd_.type_name(a) + ", " +
+            view_dtd_.type_name(b) + ") has no annotation");
+      }
+      if (xpath::UsesPosition(*q)) {
+        return Status::Unimplemented(
+            "annotation for (" + view_dtd_.type_name(a) + ", " +
+            view_dtd_.type_name(b) + ") uses position(), which SMOQE views do "
+            "not support");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int64_t ViewDef::SizeMeasure() const {
+  int64_t size = 0;
+  for (const auto& [edge, q] : sigma_) {
+    size += static_cast<int64_t>(xpath::ExpandedSize(q));
+  }
+  return size;
+}
+
+}  // namespace smoqe::view

@@ -1,0 +1,60 @@
+// XML view definitions (Section 2.3): a mapping σ : D -> D_V given by
+// annotating every edge (A, B) of the view DTD graph with an Xreg query over
+// the source DTD D. Given a source document T, σ generates a view document
+// top-down: an A-element of the view bound to source node s gets, for each
+// child type B, one B-child per node of s[[σ(A,B)]] (see materializer.h).
+//
+// This mirrors how commercial systems specify XML views (Oracle AXSD, IBM
+// DAD, SQL Server annotated schemas), as discussed in the paper.
+
+#ifndef SMOQE_VIEW_VIEW_DEF_H_
+#define SMOQE_VIEW_VIEW_DEF_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "xpath/ast.h"
+
+namespace smoqe::view {
+
+class ViewDef {
+ public:
+  ViewDef(dtd::Dtd source_dtd, dtd::Dtd view_dtd)
+      : source_dtd_(std::move(source_dtd)), view_dtd_(std::move(view_dtd)) {}
+
+  const dtd::Dtd& source_dtd() const { return source_dtd_; }
+  const dtd::Dtd& view_dtd() const { return view_dtd_; }
+
+  /// Sets σ(A, B). Fails when (A, B) is not an edge of the view DTD.
+  Status SetAnnotation(std::string_view a, std::string_view b,
+                       xpath::PathPtr query);
+
+  /// σ(A, B), or nullptr when unset.
+  const xpath::PathPtr* annotation(dtd::TypeId a, dtd::TypeId b) const;
+
+  /// True iff the view DTD is recursive (recursively defined view).
+  bool IsRecursive() const { return view_dtd_.IsRecursive(); }
+
+  /// Checks that every view-DTD edge carries an annotation and that no
+  /// annotation uses position() (untranslatable through views; the
+  /// materializer could evaluate it, but rewriting requires source-stable
+  /// predicates, so we reject it uniformly at definition time).
+  Status Validate() const;
+
+  /// |σ|: total expanded size of all annotation queries.
+  int64_t SizeMeasure() const;
+
+ private:
+  dtd::Dtd source_dtd_;
+  dtd::Dtd view_dtd_;
+  std::map<std::pair<dtd::TypeId, dtd::TypeId>, xpath::PathPtr> sigma_;
+};
+
+}  // namespace smoqe::view
+
+#endif  // SMOQE_VIEW_VIEW_DEF_H_

@@ -1,0 +1,190 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace smoqe::xml {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  StatusOr<Tree> Parse() {
+    SkipMisc();
+    if (Eof()) return Err("document has no root element");
+    Tree tree;
+    SMOQE_RETURN_IF_ERROR(ParseElement(&tree, kNullNode));
+    SkipMisc();
+    if (!Eof()) return Err("content after root element");
+    return tree;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= in_.size(); }
+  char Peek() const { return in_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < in_.size() ? in_[pos_ + off] : '\0';
+  }
+
+  void Advance() {
+    if (in_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (Eof() || Peek() != c) return false;
+    Advance();
+    return true;
+  }
+
+  bool ConsumeSeq(std::string_view s) {
+    if (in_.substr(pos_, s.size()) != s) return false;
+    for (size_t i = 0; i < s.size(); ++i) Advance();
+    return true;
+  }
+
+  Status Err(std::string what) const {
+    return Status::ParseError("XML: " + what + " (line " +
+                              std::to_string(line_) + ", column " +
+                              std::to_string(col_) + ")");
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+  }
+
+  // Skips whitespace, comments, PIs and the XML declaration.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (ConsumeSeq("<!--")) {
+        while (!Eof() && !ConsumeSeq("-->")) Advance();
+      } else if (PeekAt(0) == '<' && PeekAt(1) == '?') {
+        while (!Eof() && !ConsumeSeq("?>")) Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.' || c == ':';
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (Eof() || !IsNameStart(Peek())) return Err("expected a name");
+    std::string name;
+    while (!Eof() && IsNameChar(Peek())) {
+      name += Peek();
+      Advance();
+    }
+    return name;
+  }
+
+  Status ParseEntity(std::string* out) {
+    // Called on '&'.
+    Advance();
+    std::string ent;
+    while (!Eof() && Peek() != ';') {
+      ent += Peek();
+      Advance();
+    }
+    if (!Consume(';')) return Err("unterminated entity reference");
+    if (ent == "lt") *out += '<';
+    else if (ent == "gt") *out += '>';
+    else if (ent == "amp") *out += '&';
+    else if (ent == "quot") *out += '"';
+    else if (ent == "apos") *out += '\'';
+    else if (!ent.empty() && ent[0] == '#') {
+      int code = std::atoi(ent.c_str() + 1);
+      if (code <= 0 || code > 127) return Err("unsupported character reference &" + ent + ";");
+      *out += static_cast<char>(code);
+    } else {
+      return Err("unknown entity &" + ent + ";");
+    }
+    return Status::OK();
+  }
+
+  Status ParseElement(Tree* tree, NodeId parent) {
+    if (!Consume('<')) return Err("expected '<'");
+    SMOQE_ASSIGN_OR_RETURN(std::string name, ParseName());
+    SkipWhitespace();
+    if (!Eof() && IsNameStart(Peek())) {
+      return Err("attributes are not supported by the SMOQE data model");
+    }
+    NodeId self = parent == kNullNode ? tree->AddRoot(name)
+                                      : tree->AddElement(parent, name);
+    if (ConsumeSeq("/>")) return Status::OK();
+    if (!Consume('>')) return Err("expected '>' after element name");
+    return ParseContent(tree, self, name);
+  }
+
+  Status ParseContent(Tree* tree, NodeId self, const std::string& name) {
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.find_first_not_of(" \t\r\n") != std::string::npos) {
+        tree->AddText(self, text);
+      }
+      text.clear();
+    };
+    while (!Eof()) {
+      char c = Peek();
+      if (c == '<') {
+        if (ConsumeSeq("<!--")) {
+          while (!Eof() && !ConsumeSeq("-->")) Advance();
+          continue;
+        }
+        if (PeekAt(1) == '?') {
+          while (!Eof() && !ConsumeSeq("?>")) Advance();
+          continue;
+        }
+        if (PeekAt(1) == '!') return Err("CDATA/DOCTYPE sections are not supported");
+        if (PeekAt(1) == '/') {
+          flush_text();
+          Advance();  // <
+          Advance();  // /
+          SMOQE_ASSIGN_OR_RETURN(std::string close, ParseName());
+          SkipWhitespace();
+          if (!Consume('>')) return Err("expected '>' in closing tag");
+          if (close != name) {
+            return Err("mismatched closing tag </" + close + "> for <" + name + ">");
+          }
+          return Status::OK();
+        }
+        flush_text();
+        SMOQE_RETURN_IF_ERROR(ParseElement(tree, self));
+        continue;
+      }
+      if (c == '&') {
+        SMOQE_RETURN_IF_ERROR(ParseEntity(&text));
+        continue;
+      }
+      text += c;
+      Advance();
+    }
+    return Err("unexpected end of input inside <" + name + ">");
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+StatusOr<Tree> ParseXml(std::string_view input) { return Parser(input).Parse(); }
+
+}  // namespace smoqe::xml

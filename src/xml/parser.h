@@ -1,0 +1,25 @@
+// A small, dependency-free XML parser for the paper's data model.
+//
+// Supported: elements, PCDATA text, the five predefined entities, comments,
+// processing instructions and an XML declaration (both skipped), and
+// whitespace-only text (dropped). Not supported (by design, the paper's
+// model has neither): attributes, namespaces, CDATA sections, DOCTYPE.
+// Unsupported constructs yield a ParseError with line/column.
+
+#ifndef SMOQE_XML_PARSER_H_
+#define SMOQE_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/tree.h"
+
+namespace smoqe::xml {
+
+/// Parses `input` into a Tree. On error the returned status message contains
+/// "line L, column C".
+StatusOr<Tree> ParseXml(std::string_view input);
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_PARSER_H_

@@ -1,0 +1,98 @@
+#include "xml/tree.h"
+
+#include <cassert>
+
+namespace smoqe::xml {
+
+NodeId Tree::AddRoot(std::string_view label) {
+  assert(nodes_.empty());
+  Node n;
+  n.kind = NodeKind::kElement;
+  n.label = labels_.Intern(label);
+  root_ = Append(kNullNode, n);
+  return root_;
+}
+
+NodeId Tree::AddElement(NodeId parent, std::string_view label) {
+  assert(parent >= 0 && parent < size() && is_element(parent));
+  Node n;
+  n.kind = NodeKind::kElement;
+  n.label = labels_.Intern(label);
+  return Append(parent, n);
+}
+
+NodeId Tree::AddText(NodeId parent, std::string_view text) {
+  assert(parent >= 0 && parent < size() && is_element(parent));
+  Node n;
+  n.kind = NodeKind::kText;
+  n.text = static_cast<int32_t>(texts_.size());
+  texts_.emplace_back(text);
+  return Append(parent, n);
+}
+
+NodeId Tree::Append(NodeId parent, Node node) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  if (node.kind == NodeKind::kElement) ++num_elements_;
+  node.parent = parent;
+  if (parent != kNullNode) {
+    Node& p = nodes_[parent];
+    if (p.last_child == kNullNode) {
+      p.first_child = id;
+      node.child_index = 1;
+    } else {
+      nodes_[p.last_child].next_sibling = id;
+      node.child_index = nodes_[p.last_child].child_index + 1;
+    }
+    p.last_child = id;
+  } else {
+    node.child_index = 1;
+  }
+  nodes_.push_back(node);
+  return id;
+}
+
+std::string Tree::TextOf(NodeId id) const {
+  std::string out;
+  for (NodeId c = first_child(id); c != kNullNode; c = next_sibling(c)) {
+    if (kind(c) == NodeKind::kText) out += text_value(c);
+  }
+  return out;
+}
+
+bool Tree::HasText(NodeId id, std::string_view value) const {
+  std::string concat;
+  for (NodeId c = first_child(id); c != kNullNode; c = next_sibling(c)) {
+    if (kind(c) == NodeKind::kText) {
+      if (text_value(c) == value) return true;
+      concat += text_value(c);
+    }
+  }
+  return !concat.empty() && concat == value;
+}
+
+int32_t Tree::Depth() const {
+  if (nodes_.empty()) return 0;
+  std::vector<int32_t> depth(nodes_.size(), 1);
+  int32_t max_depth = 1;
+  // Parents precede children, so one forward scan suffices.
+  for (NodeId id = 0; id < size(); ++id) {
+    NodeId p = nodes_[id].parent;
+    if (p != kNullNode) depth[id] = depth[p] + 1;
+    if (depth[id] > max_depth) max_depth = depth[id];
+  }
+  return max_depth;
+}
+
+int64_t Tree::ApproxByteSize() const {
+  int64_t bytes = 0;
+  for (NodeId id = 0; id < size(); ++id) {
+    if (is_element(id)) {
+      bytes += 2 * static_cast<int64_t>(label_name(id).size()) + 5;  // <l></l>
+    } else {
+      bytes += static_cast<int64_t>(text_value(id).size());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace smoqe::xml

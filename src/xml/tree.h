@@ -1,0 +1,102 @@
+// The XML document tree: the data model every evaluator in SMOQE runs on.
+//
+// A Tree is an arena of nodes addressed by int32 NodeId. Nodes are either
+// elements (with an interned label) or text nodes (with a string value),
+// matching the paper's model (Section 2): no attributes, no namespaces.
+//
+// Parents are always created before their children, so ids increase along
+// every root-to-leaf path; builders that append in depth-first order (the
+// XML parser, the materializer) additionally make NodeId order coincide with
+// document order. Answer sets are reported as sorted id vectors.
+
+#ifndef SMOQE_XML_TREE_H_
+#define SMOQE_XML_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/name_table.h"
+
+namespace smoqe::xml {
+
+using NodeId = int32_t;
+inline constexpr NodeId kNullNode = -1;
+
+enum class NodeKind : uint8_t { kElement, kText };
+
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  LabelId label = kNoLabel;      // element label; kNoLabel for text nodes
+  int32_t text = -1;             // index into the text pool; -1 for elements
+  NodeId parent = kNullNode;
+  NodeId first_child = kNullNode;
+  NodeId last_child = kNullNode;
+  NodeId next_sibling = kNullNode;
+  int32_t child_index = 0;       // 1-based position among siblings (position())
+};
+
+class Tree {
+ public:
+  /// Creates the root element. Must be called exactly once, first.
+  NodeId AddRoot(std::string_view label);
+
+  /// Appends an element child to `parent` (in document order).
+  NodeId AddElement(NodeId parent, std::string_view label);
+
+  /// Appends a text child to `parent`.
+  NodeId AddText(NodeId parent, std::string_view text);
+
+  NodeId root() const { return root_; }
+  bool empty() const { return nodes_.empty(); }
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  NodeKind kind(NodeId id) const { return nodes_[id].kind; }
+  bool is_element(NodeId id) const { return nodes_[id].kind == NodeKind::kElement; }
+  LabelId label(NodeId id) const { return nodes_[id].label; }
+  const std::string& label_name(NodeId id) const { return labels_.name(nodes_[id].label); }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  NodeId first_child(NodeId id) const { return nodes_[id].first_child; }
+  NodeId next_sibling(NodeId id) const { return nodes_[id].next_sibling; }
+  int32_t child_index(NodeId id) const { return nodes_[id].child_index; }
+
+  /// Value of a text node.
+  const std::string& text_value(NodeId id) const { return texts_[nodes_[id].text]; }
+
+  /// Concatenation of the values of `id`'s direct text children (the string
+  /// the paper's `text() = 'c'` predicate compares against).
+  std::string TextOf(NodeId id) const;
+
+  /// True iff some direct text child of `id` equals `value` exactly, or the
+  /// concatenated text equals it (both conventions coincide for DTDs in the
+  /// paper's normal form, where PCDATA elements have one text child).
+  bool HasText(NodeId id, std::string_view value) const;
+
+  const NameTable& labels() const { return labels_; }
+  NameTable* mutable_labels() { return &labels_; }
+
+  /// Number of element (resp. text) nodes. O(1).
+  int32_t CountElements() const { return num_elements_; }
+  int32_t CountTexts() const { return size() - num_elements_; }
+
+  /// Length of the longest root-to-leaf path (root alone = 1). 0 if empty.
+  int32_t Depth() const;
+
+  /// Rough serialized size in bytes (for reporting dataset scale).
+  int64_t ApproxByteSize() const;
+
+ private:
+  NodeId Append(NodeId parent, Node node);
+
+  NameTable labels_;
+  std::vector<Node> nodes_;
+  std::vector<std::string> texts_;
+  NodeId root_ = kNullNode;
+  int32_t num_elements_ = 0;
+};
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_TREE_H_

@@ -1,0 +1,65 @@
+#include "xml/writer.h"
+
+namespace smoqe::xml {
+
+namespace {
+
+void Escape(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '<': *out += "&lt;"; break;
+      case '>': *out += "&gt;"; break;
+      case '&': *out += "&amp;"; break;
+      default: *out += c;
+    }
+  }
+}
+
+void WriteNode(const Tree& tree, NodeId id, const WriteOptions& opts, int depth,
+               std::string* out) {
+  auto indent = [&]() {
+    if (opts.indent) out->append(static_cast<size_t>(depth) * 2, ' ');
+  };
+  if (!tree.is_element(id)) {
+    indent();
+    Escape(tree.text_value(id), out);
+    if (opts.indent) *out += '\n';
+    return;
+  }
+  indent();
+  const std::string& name = tree.label_name(id);
+  if (tree.first_child(id) == kNullNode) {
+    *out += '<';
+    *out += name;
+    *out += "/>";
+    if (opts.indent) *out += '\n';
+    return;
+  }
+  *out += '<';
+  *out += name;
+  *out += '>';
+  if (opts.indent) *out += '\n';
+  for (NodeId c = tree.first_child(id); c != kNullNode; c = tree.next_sibling(c)) {
+    WriteNode(tree, c, opts, depth + 1, out);
+  }
+  indent();
+  *out += "</";
+  *out += name;
+  *out += '>';
+  if (opts.indent) *out += '\n';
+}
+
+}  // namespace
+
+std::string WriteXml(const Tree& tree, NodeId node, const WriteOptions& opts) {
+  std::string out;
+  if (!tree.empty()) WriteNode(tree, node, opts, 0, &out);
+  return out;
+}
+
+std::string WriteXml(const Tree& tree, const WriteOptions& opts) {
+  if (tree.empty()) return "";
+  return WriteXml(tree, tree.root(), opts);
+}
+
+}  // namespace smoqe::xml

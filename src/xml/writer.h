@@ -1,0 +1,25 @@
+// Serializes a Tree back to XML text (inverse of ParseXml for trees whose
+// text nodes are not whitespace-only).
+
+#ifndef SMOQE_XML_WRITER_H_
+#define SMOQE_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace smoqe::xml {
+
+struct WriteOptions {
+  bool indent = false;  // pretty-print with two-space indentation
+};
+
+/// Serializes the subtree rooted at `node`. Text is entity-escaped.
+std::string WriteXml(const Tree& tree, NodeId node, const WriteOptions& opts = {});
+
+/// Serializes the whole document.
+std::string WriteXml(const Tree& tree, const WriteOptions& opts = {});
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_WRITER_H_

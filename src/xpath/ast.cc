@@ -1,0 +1,307 @@
+#include "xpath/ast.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace smoqe::xpath {
+
+namespace {
+PathPtr MakePath(Path p) { return std::make_shared<const Path>(std::move(p)); }
+FilterPtr MakeFilter(Filter f) { return std::make_shared<const Filter>(std::move(f)); }
+}  // namespace
+
+PathPtr Eps() {
+  static const PathPtr eps = MakePath({.kind = PathKind::kEmpty});
+  return eps;
+}
+
+PathPtr Label(std::string name) {
+  Path p;
+  p.kind = PathKind::kLabel;
+  p.label = std::move(name);
+  return MakePath(std::move(p));
+}
+
+PathPtr Wildcard() {
+  static const PathPtr wc = MakePath({.kind = PathKind::kWildcard});
+  return wc;
+}
+
+PathPtr Seq(PathPtr a, PathPtr b) {
+  // eps is the unit of '/', fold it away so printed queries stay readable.
+  if (a->kind == PathKind::kEmpty) return b;
+  if (b->kind == PathKind::kEmpty) return a;
+  Path p;
+  p.kind = PathKind::kSeq;
+  p.left = std::move(a);
+  p.right = std::move(b);
+  return MakePath(std::move(p));
+}
+
+PathPtr UnionOf(PathPtr a, PathPtr b) {
+  Path p;
+  p.kind = PathKind::kUnion;
+  p.left = std::move(a);
+  p.right = std::move(b);
+  return MakePath(std::move(p));
+}
+
+PathPtr Star(PathPtr a) {
+  Path p;
+  p.kind = PathKind::kStar;
+  p.left = std::move(a);
+  return MakePath(std::move(p));
+}
+
+PathPtr WithFilter(PathPtr a, FilterPtr f) {
+  Path p;
+  p.kind = PathKind::kFilter;
+  p.left = std::move(a);
+  p.filter = std::move(f);
+  return MakePath(std::move(p));
+}
+
+PathPtr DescendantOrSelf() {
+  static const PathPtr ds = Star(Wildcard());
+  return ds;
+}
+
+FilterPtr FPath(PathPtr p) {
+  Filter f;
+  f.kind = FilterKind::kPath;
+  f.path = std::move(p);
+  return MakeFilter(std::move(f));
+}
+
+FilterPtr FTextEquals(PathPtr p, std::string text) {
+  Filter f;
+  f.kind = FilterKind::kTextEquals;
+  f.path = std::move(p);
+  f.text = std::move(text);
+  return MakeFilter(std::move(f));
+}
+
+FilterPtr FPositionEquals(int k) {
+  Filter f;
+  f.kind = FilterKind::kPositionEquals;
+  f.position = k;
+  return MakeFilter(std::move(f));
+}
+
+FilterPtr FNot(FilterPtr inner) {
+  Filter f;
+  f.kind = FilterKind::kNot;
+  f.left = std::move(inner);
+  return MakeFilter(std::move(f));
+}
+
+FilterPtr FAnd(FilterPtr a, FilterPtr b) {
+  Filter f;
+  f.kind = FilterKind::kAnd;
+  f.left = std::move(a);
+  f.right = std::move(b);
+  return MakeFilter(std::move(f));
+}
+
+FilterPtr FOr(FilterPtr a, FilterPtr b) {
+  Filter f;
+  f.kind = FilterKind::kOr;
+  f.left = std::move(a);
+  f.right = std::move(b);
+  return MakeFilter(std::move(f));
+}
+
+namespace {
+
+constexpr uint64_t kSizeCap = ~uint64_t{0};
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  return s < a ? kSizeCap : s;
+}
+
+struct SizeMemo {
+  std::unordered_map<const Path*, uint64_t> paths;
+  std::unordered_map<const Filter*, uint64_t> filters;
+};
+
+uint64_t SizeOf(const PathPtr& p, SizeMemo* memo);
+
+uint64_t SizeOf(const FilterPtr& f, SizeMemo* memo) {
+  if (f == nullptr) return 0;
+  auto it = memo->filters.find(f.get());
+  if (it != memo->filters.end()) return it->second;
+  uint64_t size = 1;
+  size = SatAdd(size, SizeOf(f->path, memo));
+  size = SatAdd(size, SizeOf(f->left, memo));
+  size = SatAdd(size, SizeOf(f->right, memo));
+  memo->filters[f.get()] = size;
+  return size;
+}
+
+uint64_t SizeOf(const PathPtr& p, SizeMemo* memo) {
+  if (p == nullptr) return 0;
+  auto it = memo->paths.find(p.get());
+  if (it != memo->paths.end()) return it->second;
+  uint64_t size = 1;
+  size = SatAdd(size, SizeOf(p->left, memo));
+  size = SatAdd(size, SizeOf(p->right, memo));
+  size = SatAdd(size, SizeOf(p->filter, memo));
+  memo->paths[p.get()] = size;
+  return size;
+}
+
+}  // namespace
+
+uint64_t ExpandedSize(const PathPtr& p) {
+  SizeMemo memo;
+  return SizeOf(p, &memo);
+}
+
+uint64_t ExpandedSize(const FilterPtr& f) {
+  SizeMemo memo;
+  return SizeOf(f, &memo);
+}
+
+bool Equals(const FilterPtr& a, const FilterPtr& b);
+
+namespace {
+
+// '/' and 'U' are associative; Equals compares their operand spines so that
+// a/(b/c) and (a/b)/c (parser folds left, builders often fold right) compare
+// equal.
+void FlattenSpine(const PathPtr& p, PathKind kind, std::vector<const Path*>* out) {
+  std::vector<const Path*> stack = {p.get()};
+  while (!stack.empty()) {
+    const Path* n = stack.back();
+    stack.pop_back();
+    if (n->kind == kind) {
+      // Right child pushed first so the left spine comes out in order.
+      stack.push_back(n->right.get());
+      stack.push_back(n->left.get());
+    } else {
+      out->push_back(n);
+    }
+  }
+}
+
+bool EqualsRaw(const Path* a, const Path* b);
+
+bool EqualsSpines(const PathPtr& a, const PathPtr& b, PathKind kind) {
+  std::vector<const Path*> sa, sb;
+  FlattenSpine(a, kind, &sa);
+  FlattenSpine(b, kind, &sb);
+  if (sa.size() != sb.size()) return false;
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (!EqualsRaw(sa[i], sb[i])) return false;
+  }
+  return true;
+}
+
+bool EqualsRaw(const Path* a, const Path* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  if (a->kind == PathKind::kSeq || a->kind == PathKind::kUnion) {
+    // Re-wrap to reuse the spine comparison (no ownership transfer needed;
+    // aliasing shared_ptrs with no-op deleters keeps this cheap).
+    PathPtr pa(std::shared_ptr<const Path>(), a);
+    PathPtr pb(std::shared_ptr<const Path>(), b);
+    return EqualsSpines(pa, pb, a->kind);
+  }
+  return a->label == b->label && EqualsRaw(a->left.get(), b->left.get()) &&
+         EqualsRaw(a->right.get(), b->right.get()) &&
+         Equals(a->filter, b->filter);
+}
+
+}  // namespace
+
+bool Equals(const PathPtr& a, const PathPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  if (a->kind == PathKind::kSeq || a->kind == PathKind::kUnion) {
+    return EqualsSpines(a, b, a->kind);
+  }
+  return EqualsRaw(a.get(), b.get());
+}
+
+namespace {
+
+// 'and' / 'or' are associative too.
+void FlattenFilterSpine(const Filter* f, FilterKind kind,
+                        std::vector<const Filter*>* out) {
+  std::vector<const Filter*> stack = {f};
+  while (!stack.empty()) {
+    const Filter* n = stack.back();
+    stack.pop_back();
+    if (n->kind == kind) {
+      stack.push_back(n->right.get());
+      stack.push_back(n->left.get());
+    } else {
+      out->push_back(n);
+    }
+  }
+}
+
+bool EqualsFilterRaw(const Filter* a, const Filter* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  if (a->kind == FilterKind::kAnd || a->kind == FilterKind::kOr) {
+    std::vector<const Filter*> sa, sb;
+    FlattenFilterSpine(a, a->kind, &sa);
+    FlattenFilterSpine(b, a->kind, &sb);
+    if (sa.size() != sb.size()) return false;
+    for (size_t i = 0; i < sa.size(); ++i) {
+      if (!EqualsFilterRaw(sa[i], sb[i])) return false;
+    }
+    return true;
+  }
+  return a->text == b->text && a->position == b->position &&
+         Equals(a->path, b->path) && EqualsFilterRaw(a->left.get(), b->left.get()) &&
+         EqualsFilterRaw(a->right.get(), b->right.get());
+}
+
+}  // namespace
+
+bool Equals(const FilterPtr& a, const FilterPtr& b) {
+  return EqualsFilterRaw(a.get(), b.get());
+}
+
+namespace {
+
+void Collect(const PathPtr& p, std::unordered_set<const Path*>* seen_p,
+             std::unordered_set<const Filter*>* seen_f,
+             std::vector<std::string>* out);
+
+void Collect(const FilterPtr& f, std::unordered_set<const Path*>* seen_p,
+             std::unordered_set<const Filter*>* seen_f,
+             std::vector<std::string>* out) {
+  if (f == nullptr || !seen_f->insert(f.get()).second) return;
+  Collect(f->path, seen_p, seen_f, out);
+  Collect(f->left, seen_p, seen_f, out);
+  Collect(f->right, seen_p, seen_f, out);
+}
+
+void Collect(const PathPtr& p, std::unordered_set<const Path*>* seen_p,
+             std::unordered_set<const Filter*>* seen_f,
+             std::vector<std::string>* out) {
+  if (p == nullptr || !seen_p->insert(p.get()).second) return;
+  if (p->kind == PathKind::kLabel) out->push_back(p->label);
+  Collect(p->left, seen_p, seen_f, out);
+  Collect(p->right, seen_p, seen_f, out);
+  Collect(p->filter, seen_p, seen_f, out);
+}
+
+}  // namespace
+
+std::vector<std::string> CollectLabels(const PathPtr& p) {
+  std::unordered_set<const Path*> seen_p;
+  std::unordered_set<const Filter*> seen_f;
+  std::vector<std::string> out;
+  Collect(p, &seen_p, &seen_f, &out);
+  return out;
+}
+
+}  // namespace smoqe::xpath

@@ -1,0 +1,97 @@
+// AST for regular XPath (Xreg) and its XPath fragment X (Section 2.1).
+//
+//   Q ::= eps | A | * | Q/Q | Q U Q | Q* | Q[q]
+//   q ::= Q | Q/text()='c' | position()=k | not q | q and q | q or q
+//
+// X is the subfragment where every Kleene star is (*)* -- i.e. the
+// descendant-or-self axis '//' (the parser desugars '//' to /(*)*/).
+//
+// Nodes are immutable and shared (shared_ptr DAG). Sharing keeps rewriting
+// cheap in memory; ExpandedSize() reports the size of the *explicit*
+// representation (shared subtrees counted once per occurrence), which is the
+// measure in the paper's Corollary 3.3 lower bound.
+
+#ifndef SMOQE_XPATH_AST_H_
+#define SMOQE_XPATH_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smoqe::xpath {
+
+struct Path;
+struct Filter;
+using PathPtr = std::shared_ptr<const Path>;
+using FilterPtr = std::shared_ptr<const Filter>;
+
+enum class PathKind : uint8_t {
+  kEmpty,     // eps (self)
+  kLabel,     // A
+  kWildcard,  // *
+  kSeq,       // Q1/Q2
+  kUnion,     // Q1 U Q2
+  kStar,      // Q*
+  kFilter,    // Q[q]
+};
+
+enum class FilterKind : uint8_t {
+  kPath,            // Q            (some node reachable via Q)
+  kTextEquals,      // Q/text()='c' (some node reachable via Q has text c)
+  kPositionEquals,  // position()=k (this node is the k-th child)
+  kNot,
+  kAnd,
+  kOr,
+};
+
+struct Path {
+  PathKind kind;
+  std::string label;   // kLabel
+  PathPtr left;        // kSeq/kUnion lhs; kStar/kFilter operand
+  PathPtr right;       // kSeq/kUnion rhs
+  FilterPtr filter;    // kFilter
+};
+
+struct Filter {
+  FilterKind kind;
+  PathPtr path;        // kPath / kTextEquals
+  std::string text;    // kTextEquals
+  int position = 0;    // kPositionEquals
+  FilterPtr left;      // kNot operand; kAnd/kOr lhs
+  FilterPtr right;     // kAnd/kOr rhs
+};
+
+// ---- Builders (the only way to create nodes; all immutable) ----
+PathPtr Eps();
+PathPtr Label(std::string name);
+PathPtr Wildcard();
+PathPtr Seq(PathPtr a, PathPtr b);
+PathPtr UnionOf(PathPtr a, PathPtr b);
+PathPtr Star(PathPtr a);
+PathPtr WithFilter(PathPtr a, FilterPtr f);
+/// Desugared descendant-or-self step: (*)*.
+PathPtr DescendantOrSelf();
+
+FilterPtr FPath(PathPtr p);
+FilterPtr FTextEquals(PathPtr p, std::string text);
+FilterPtr FPositionEquals(int k);
+FilterPtr FNot(FilterPtr f);
+FilterPtr FAnd(FilterPtr a, FilterPtr b);
+FilterPtr FOr(FilterPtr a, FilterPtr b);
+
+/// Size of the explicit (fully expanded) representation; saturates at
+/// uint64 max. This is |Q| in the paper's bounds.
+uint64_t ExpandedSize(const PathPtr& p);
+uint64_t ExpandedSize(const FilterPtr& f);
+
+/// Structural equality (labels, constants and shape).
+bool Equals(const PathPtr& a, const PathPtr& b);
+bool Equals(const FilterPtr& a, const FilterPtr& b);
+
+/// All labels mentioned by the query (selection steps and filters).
+std::vector<std::string> CollectLabels(const PathPtr& p);
+
+}  // namespace smoqe::xpath
+
+#endif  // SMOQE_XPATH_AST_H_

@@ -1,0 +1,296 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace smoqe::xpath {
+
+namespace {
+
+enum class Tok : uint8_t {
+  kName, kString, kNumber,
+  kSlash, kDSlash, kPipe, kStar, kLParen, kRParen, kLBracket, kRBracket,
+  kEq, kDot, kAnd, kOr, kNot, kTextFn, kPosFn, kEof,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;  // kName/kString/kNumber payload
+  size_t offset;
+};
+
+StatusOr<std::vector<Token>> Lex(std::string_view in) {
+  std::vector<Token> toks;
+  size_t i = 0;
+  auto err = [&](std::string what) {
+    return Status::ParseError("query: " + what + " (offset " + std::to_string(i) + ")");
+  };
+  while (i < in.size()) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < in.size() && (std::isalnum(static_cast<unsigned char>(in[j])) ||
+                               in[j] == '_' || in[j] == '-')) {
+        ++j;
+      }
+      std::string name(in.substr(i, j - i));
+      i = j;
+      if (name == "and") { toks.push_back({Tok::kAnd, "", start}); continue; }
+      if (name == "or") { toks.push_back({Tok::kOr, "", start}); continue; }
+      if (name == "not") { toks.push_back({Tok::kNot, "", start}); continue; }
+      if (name == "text" || name == "position") {
+        size_t j2 = i;
+        while (j2 < in.size() && std::isspace(static_cast<unsigned char>(in[j2]))) ++j2;
+        if (j2 + 1 < in.size() && in[j2] == '(' && in[j2 + 1] == ')') {
+          i = j2 + 2;
+          toks.push_back({name == "text" ? Tok::kTextFn : Tok::kPosFn, "", start});
+          continue;
+        }
+      }
+      toks.push_back({Tok::kName, std::move(name), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < in.size() && std::isdigit(static_cast<unsigned char>(in[j]))) ++j;
+      toks.push_back({Tok::kNumber, std::string(in.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      size_t j = i + 1;
+      while (j < in.size() && in[j] != c) ++j;
+      if (j >= in.size()) return err("unterminated string literal");
+      toks.push_back({Tok::kString, std::string(in.substr(i + 1, j - i - 1)), start});
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case '/':
+        if (i + 1 < in.size() && in[i + 1] == '/') {
+          toks.push_back({Tok::kDSlash, "", start});
+          i += 2;
+        } else {
+          toks.push_back({Tok::kSlash, "", start});
+          ++i;
+        }
+        continue;
+      case '|': toks.push_back({Tok::kPipe, "", start}); ++i; continue;
+      case '*': toks.push_back({Tok::kStar, "", start}); ++i; continue;
+      case '(': toks.push_back({Tok::kLParen, "", start}); ++i; continue;
+      case ')': toks.push_back({Tok::kRParen, "", start}); ++i; continue;
+      case '[': toks.push_back({Tok::kLBracket, "", start}); ++i; continue;
+      case ']': toks.push_back({Tok::kRBracket, "", start}); ++i; continue;
+      case '=': toks.push_back({Tok::kEq, "", start}); ++i; continue;
+      case '.': toks.push_back({Tok::kDot, "", start}); ++i; continue;
+      default:
+        return err(std::string("unexpected character '") + c + "'");
+    }
+  }
+  toks.push_back({Tok::kEof, "", in.size()});
+  return toks;
+}
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  StatusOr<PathPtr> ParseWholeQuery() {
+    SMOQE_ASSIGN_OR_RETURN(PathPtr p, ParseUnion());
+    if (Peek() != Tok::kEof) return Err("trailing input after query");
+    return p;
+  }
+
+  StatusOr<FilterPtr> ParseWholeFilter() {
+    SMOQE_ASSIGN_OR_RETURN(FilterPtr f, ParseOrF());
+    if (Peek() != Tok::kEof) return Err("trailing input after filter");
+    return f;
+  }
+
+ private:
+  Tok Peek(size_t ahead = 0) const {
+    size_t i = ti_ + ahead;
+    return i < toks_.size() ? toks_[i].kind : Tok::kEof;
+  }
+  const Token& Cur() const { return toks_[ti_]; }
+  void Advance() { ++ti_; }
+
+  bool Consume(Tok t) {
+    if (Peek() != t) return false;
+    Advance();
+    return true;
+  }
+
+  Status Err(std::string what) const {
+    return Status::ParseError("query: " + what + " (offset " +
+                              std::to_string(Cur().offset) + ")");
+  }
+
+  StatusOr<PathPtr> ParseUnion() {
+    SMOQE_ASSIGN_OR_RETURN(PathPtr a, ParseSeq());
+    while (Consume(Tok::kPipe)) {
+      SMOQE_ASSIGN_OR_RETURN(PathPtr b, ParseSeq());
+      a = UnionOf(a, b);
+    }
+    return a;
+  }
+
+  StatusOr<PathPtr> ParseSeq() {
+    PathPtr a;
+    if (Consume(Tok::kDSlash)) {
+      SMOQE_ASSIGN_OR_RETURN(PathPtr first, ParseStep());
+      a = Seq(DescendantOrSelf(), first);
+    } else {
+      SMOQE_ASSIGN_OR_RETURN(PathPtr first, ParseStep());
+      a = first;
+    }
+    for (;;) {
+      if (Peek() == Tok::kSlash && Peek(1) == Tok::kTextFn) {
+        // Leave `/text() = 'c'` for the enclosing filter atom.
+        break;
+      }
+      if (Consume(Tok::kSlash)) {
+        SMOQE_ASSIGN_OR_RETURN(PathPtr b, ParseStep());
+        a = Seq(a, b);
+      } else if (Consume(Tok::kDSlash)) {
+        SMOQE_ASSIGN_OR_RETURN(PathPtr b, ParseStep());
+        a = Seq(Seq(a, DescendantOrSelf()), b);
+      } else {
+        break;
+      }
+    }
+    return a;
+  }
+
+  StatusOr<PathPtr> ParseStep() {
+    SMOQE_ASSIGN_OR_RETURN(PathPtr p, ParsePrimary());
+    for (;;) {
+      if (Consume(Tok::kLBracket)) {
+        SMOQE_ASSIGN_OR_RETURN(FilterPtr f, ParseOrF());
+        if (!Consume(Tok::kRBracket)) return Err("expected ']'");
+        p = WithFilter(p, f);
+      } else if (Consume(Tok::kStar)) {
+        p = Star(p);
+      } else {
+        break;
+      }
+    }
+    return p;
+  }
+
+  StatusOr<PathPtr> ParsePrimary() {
+    switch (Peek()) {
+      case Tok::kDot:
+        Advance();
+        return Eps();
+      case Tok::kName: {
+        PathPtr p = Label(Cur().text);
+        Advance();
+        return p;
+      }
+      case Tok::kStar:
+        Advance();
+        return Wildcard();
+      case Tok::kLParen: {
+        Advance();
+        SMOQE_ASSIGN_OR_RETURN(PathPtr p, ParseUnion());
+        if (!Consume(Tok::kRParen)) return Err("expected ')'");
+        return p;
+      }
+      default:
+        return Err("expected a path step");
+    }
+  }
+
+  StatusOr<FilterPtr> ParseOrF() {
+    SMOQE_ASSIGN_OR_RETURN(FilterPtr a, ParseAndF());
+    while (Consume(Tok::kOr)) {
+      SMOQE_ASSIGN_OR_RETURN(FilterPtr b, ParseAndF());
+      a = FOr(a, b);
+    }
+    return a;
+  }
+
+  StatusOr<FilterPtr> ParseAndF() {
+    SMOQE_ASSIGN_OR_RETURN(FilterPtr a, ParseNotF());
+    while (Consume(Tok::kAnd)) {
+      SMOQE_ASSIGN_OR_RETURN(FilterPtr b, ParseNotF());
+      a = FAnd(a, b);
+    }
+    return a;
+  }
+
+  StatusOr<FilterPtr> ParseNotF() {
+    if (Consume(Tok::kNot)) {
+      if (!Consume(Tok::kLParen)) return Err("expected '(' after 'not'");
+      SMOQE_ASSIGN_OR_RETURN(FilterPtr f, ParseOrF());
+      if (!Consume(Tok::kRParen)) return Err("expected ')' after 'not(...'");
+      return FNot(f);
+    }
+    return ParseAtomF();
+  }
+
+  StatusOr<FilterPtr> ParseAtomF() {
+    if (Consume(Tok::kTextFn)) {
+      if (!Consume(Tok::kEq)) return Err("expected '=' after text()");
+      if (Peek() != Tok::kString) return Err("expected a string literal");
+      std::string value = Cur().text;
+      Advance();
+      return FTextEquals(Eps(), std::move(value));
+    }
+    if (Consume(Tok::kPosFn)) {
+      if (!Consume(Tok::kEq)) return Err("expected '=' after position()");
+      if (Peek() != Tok::kNumber) return Err("expected a number");
+      int k = std::atoi(Cur().text.c_str());
+      Advance();
+      return FPositionEquals(k);
+    }
+    // Try a path atom first; '(' may open either a path group or a boolean
+    // group, and only paths can continue with '/', '*', '[' or '|'.
+    size_t saved = ti_;
+    StatusOr<PathPtr> path = ParseUnion();
+    if (path.ok()) {
+      PathPtr p = path.take();
+      if (Peek() == Tok::kSlash && Peek(1) == Tok::kTextFn) {
+        Advance();
+        Advance();
+        if (!Consume(Tok::kEq)) return Err("expected '=' after text()");
+        if (Peek() != Tok::kString) return Err("expected a string literal");
+        std::string value = Cur().text;
+        Advance();
+        return FTextEquals(p, std::move(value));
+      }
+      return FPath(p);
+    }
+    ti_ = saved;
+    if (Consume(Tok::kLParen)) {
+      SMOQE_ASSIGN_OR_RETURN(FilterPtr f, ParseOrF());
+      if (!Consume(Tok::kRParen)) return Err("expected ')'");
+      return f;
+    }
+    return path.status();
+  }
+
+  std::vector<Token> toks_;
+  size_t ti_ = 0;
+};
+
+}  // namespace
+
+StatusOr<PathPtr> ParseQuery(std::string_view input) {
+  SMOQE_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(input));
+  return QueryParser(std::move(toks)).ParseWholeQuery();
+}
+
+StatusOr<FilterPtr> ParseFilterExpr(std::string_view input) {
+  SMOQE_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(input));
+  return QueryParser(std::move(toks)).ParseWholeFilter();
+}
+
+}  // namespace smoqe::xpath

@@ -1,0 +1,36 @@
+// Parser for the concrete syntax of Xreg / X.
+//
+//   query  := union
+//   union  := seq ('|' seq)*
+//   seq    := ['//'] step (('/' | '//') step)*
+//   step   := primary ('[' filter ']' | '*')*
+//   primary:= '.' | name | '*' | '(' union ')'
+//   filter := orf;  orf := andf ('or' andf)*;  andf := notf ('and' notf)*
+//   notf   := 'not' '(' orf ')' | atom
+//   atom   := 'text()' '=' string
+//           | 'position()' '=' number
+//           | path ['/text()' '=' string]       -- path existence / text test
+//           | '(' orf ')'                        -- boolean grouping
+//
+// '//' is desugared to /(*)*/ at parse time (so X queries become Xreg with
+// only wildcard stars). `and`, `or`, `not` are reserved words and cannot be
+// element names in queries. Strings use single or double quotes.
+
+#ifndef SMOQE_XPATH_PARSER_H_
+#define SMOQE_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace smoqe::xpath {
+
+StatusOr<PathPtr> ParseQuery(std::string_view input);
+
+/// Parses a bare filter expression (used by tests).
+StatusOr<FilterPtr> ParseFilterExpr(std::string_view input);
+
+}  // namespace smoqe::xpath
+
+#endif  // SMOQE_XPATH_PARSER_H_

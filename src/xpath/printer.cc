@@ -1,0 +1,133 @@
+#include "xpath/printer.h"
+
+namespace smoqe::xpath {
+
+namespace {
+
+// Path precedence: union < seq < postfix (star, filter) < atom.
+enum { kPrecUnion = 0, kPrecSeq = 1, kPrecPostfix = 2 };
+
+void PrintPath(const PathPtr& p, int parent_prec, std::string* out);
+void PrintFilter(const FilterPtr& f, int parent_prec, std::string* out);
+
+void PrintString(const std::string& s, std::string* out) {
+  char quote = s.find('\'') == std::string::npos ? '\'' : '"';
+  *out += quote;
+  *out += s;
+  *out += quote;
+}
+
+void PrintPath(const PathPtr& p, int parent_prec, std::string* out) {
+  switch (p->kind) {
+    case PathKind::kEmpty:
+      *out += '.';
+      return;
+    case PathKind::kLabel:
+      *out += p->label;
+      return;
+    case PathKind::kWildcard:
+      *out += '*';
+      return;
+    case PathKind::kSeq: {
+      bool wrap = parent_prec > kPrecSeq;
+      if (wrap) *out += '(';
+      PrintPath(p->left, kPrecSeq, out);
+      *out += '/';
+      PrintPath(p->right, kPrecSeq, out);
+      if (wrap) *out += ')';
+      return;
+    }
+    case PathKind::kUnion: {
+      bool wrap = parent_prec > kPrecUnion;
+      if (wrap) *out += '(';
+      PrintPath(p->left, kPrecUnion, out);
+      *out += " | ";
+      PrintPath(p->right, kPrecUnion, out);
+      if (wrap) *out += ')';
+      return;
+    }
+    case PathKind::kStar: {
+      // Always parenthesize the body: "(parent/patient)*", "(*)*".
+      const PathPtr& body = p->left;
+      if (body->kind == PathKind::kLabel) {
+        *out += body->label;
+      } else {
+        *out += '(';
+        PrintPath(body, kPrecUnion, out);
+        *out += ')';
+      }
+      *out += '*';
+      return;
+    }
+    case PathKind::kFilter: {
+      bool wrap = p->left->kind == PathKind::kSeq ||
+                  p->left->kind == PathKind::kUnion;
+      if (wrap) *out += '(';
+      PrintPath(p->left, kPrecPostfix, out);
+      if (wrap) *out += ')';
+      *out += '[';
+      PrintFilter(p->filter, 0, out);
+      *out += ']';
+      return;
+    }
+  }
+}
+
+// Filter precedence: or < and < not/atom.
+void PrintFilter(const FilterPtr& f, int parent_prec, std::string* out) {
+  switch (f->kind) {
+    case FilterKind::kPath:
+      PrintPath(f->path, kPrecUnion, out);
+      return;
+    case FilterKind::kTextEquals:
+      if (f->path->kind != PathKind::kEmpty) {
+        PrintPath(f->path, kPrecSeq, out);
+        *out += '/';
+      }
+      *out += "text() = ";
+      PrintString(f->text, out);
+      return;
+    case FilterKind::kPositionEquals:
+      *out += "position() = " + std::to_string(f->position);
+      return;
+    case FilterKind::kNot:
+      *out += "not(";
+      PrintFilter(f->left, 0, out);
+      *out += ')';
+      return;
+    case FilterKind::kAnd: {
+      bool wrap = parent_prec > 1;
+      if (wrap) *out += '(';
+      PrintFilter(f->left, 1, out);
+      *out += " and ";
+      PrintFilter(f->right, 1, out);
+      if (wrap) *out += ')';
+      return;
+    }
+    case FilterKind::kOr: {
+      bool wrap = parent_prec > 0;
+      if (wrap) *out += '(';
+      PrintFilter(f->left, 0, out);
+      *out += " or ";
+      PrintFilter(f->right, 0, out);
+      if (wrap) *out += ')';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ToString(const PathPtr& p) {
+  std::string out;
+  PrintPath(p, kPrecUnion, &out);
+  return out;
+}
+
+std::string ToString(const FilterPtr& f) {
+  std::string out;
+  PrintFilter(f, 0, &out);
+  return out;
+}
+
+}  // namespace smoqe::xpath

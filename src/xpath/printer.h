@@ -1,0 +1,18 @@
+// Pretty-printer for Xreg ASTs. Output re-parses to a structurally equal AST
+// (round-trip property, tested).
+
+#ifndef SMOQE_XPATH_PRINTER_H_
+#define SMOQE_XPATH_PRINTER_H_
+
+#include <string>
+
+#include "xpath/ast.h"
+
+namespace smoqe::xpath {
+
+std::string ToString(const PathPtr& p);
+std::string ToString(const FilterPtr& f);
+
+}  // namespace smoqe::xpath
+
+#endif  // SMOQE_XPATH_PRINTER_H_

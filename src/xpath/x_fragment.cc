@@ -1,0 +1,50 @@
+#include "xpath/x_fragment.h"
+
+namespace smoqe::xpath {
+
+bool IsInXFragment(const FilterPtr& f);
+
+bool IsInXFragment(const PathPtr& p) {
+  if (p == nullptr) return true;
+  if (p->kind == PathKind::kStar && p->left->kind != PathKind::kWildcard) {
+    return false;
+  }
+  return IsInXFragment(p->left) && IsInXFragment(p->right) &&
+         IsInXFragment(p->filter);
+}
+
+bool IsInXFragment(const FilterPtr& f) {
+  if (f == nullptr) return true;
+  return IsInXFragment(f->path) && IsInXFragment(f->left) &&
+         IsInXFragment(f->right);
+}
+
+namespace {
+bool UsesStarF(const FilterPtr& f);
+
+bool UsesStarP(const PathPtr& p) {
+  if (p == nullptr) return false;
+  if (p->kind == PathKind::kStar) return true;
+  return UsesStarP(p->left) || UsesStarP(p->right) || UsesStarF(p->filter);
+}
+
+bool UsesStarF(const FilterPtr& f) {
+  if (f == nullptr) return false;
+  return UsesStarP(f->path) || UsesStarF(f->left) || UsesStarF(f->right);
+}
+}  // namespace
+
+bool UsesStar(const PathPtr& p) { return UsesStarP(p); }
+
+bool UsesPosition(const FilterPtr& f) {
+  if (f == nullptr) return false;
+  if (f->kind == FilterKind::kPositionEquals) return true;
+  return UsesPosition(f->path) || UsesPosition(f->left) || UsesPosition(f->right);
+}
+
+bool UsesPosition(const PathPtr& p) {
+  if (p == nullptr) return false;
+  return UsesPosition(p->left) || UsesPosition(p->right) || UsesPosition(p->filter);
+}
+
+}  // namespace smoqe::xpath

@@ -1,0 +1,25 @@
+// The XPath fragment X (Section 2.1): Xreg where the only Kleene star is the
+// desugared descendant-or-self axis (*)*.
+
+#ifndef SMOQE_XPATH_X_FRAGMENT_H_
+#define SMOQE_XPATH_X_FRAGMENT_H_
+
+#include "xpath/ast.h"
+
+namespace smoqe::xpath {
+
+/// True iff every kStar node (in selection paths and filters) has a wildcard
+/// body, i.e. the query is expressible with '//' alone.
+bool IsInXFragment(const PathPtr& p);
+bool IsInXFragment(const FilterPtr& f);
+
+/// True iff the query uses a Kleene star anywhere (incl. '//').
+bool UsesStar(const PathPtr& p);
+
+/// True iff the query uses position() anywhere (rewriting rejects these).
+bool UsesPosition(const PathPtr& p);
+bool UsesPosition(const FilterPtr& f);
+
+}  // namespace smoqe::xpath
+
+#endif  // SMOQE_XPATH_X_FRAGMENT_H_

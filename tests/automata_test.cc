@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "automata/afa.h"
+#include "automata/compiler.h"
+#include "automata/conceptual_eval.h"
+#include "automata/mfa.h"
+#include "eval/naive_evaluator.h"
+#include "gen/fixtures.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace smoqe::automata {
+namespace {
+
+xml::Tree Doc(const char* text) {
+  auto t = xml::ParseXml(text);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return t.take();
+}
+
+Mfa Compile(std::string_view query) {
+  auto q = xpath::ParseQuery(query);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return CompileQuery(q.value());
+}
+
+std::vector<xml::NodeId> RunConceptual(const xml::Tree& t, std::string_view q) {
+  Mfa mfa = Compile(q);
+  ConceptualEvaluator eval(t, mfa);
+  return eval.Eval(t.root());
+}
+
+std::vector<xml::NodeId> RunNaive(const xml::Tree& t, std::string_view q) {
+  auto query = xpath::ParseQuery(q);
+  EXPECT_TRUE(query.ok());
+  return eval::NaiveEvaluator(t).Eval(query.value(), t.root());
+}
+
+TEST(CompilerTest, SimpleQueryWellFormed) {
+  Mfa mfa = Compile("a/b[c]/d");
+  EXPECT_TRUE(CheckWellFormed(mfa).empty());
+  EXPECT_GT(mfa.num_nfa_states(), 0);
+  EXPECT_GT(mfa.num_afa_states(), 0);
+  EXPECT_GE(mfa.SizeMeasure(), mfa.num_nfa_states());
+}
+
+TEST(CompilerTest, FilterFreeQueryHasNoAfa) {
+  Mfa mfa = Compile("a/b/c | d*");
+  EXPECT_TRUE(CheckWellFormed(mfa).empty());
+  EXPECT_EQ(mfa.num_afa_states(), 0);
+}
+
+TEST(CompilerTest, SizeLinearInQuery) {
+  // MFA size must grow linearly with query size (no blowup).
+  std::string q = "a";
+  Mfa small = Compile(q);
+  for (int i = 0; i < 40; ++i) q += "/a[b]";
+  Mfa big = Compile(q);
+  EXPECT_LT(big.SizeMeasure(), small.SizeMeasure() + 40 * 12);
+}
+
+TEST(SplitPropertyTest, CompiledQueriesHaveIt) {
+  for (const char* q :
+       {"a", "a[b]", "a[not(b)]", "(a[b]/c)*", "a[(b/c)*/d]",
+        "a[not((b)*) and c]", "a[b[c[d]]]",
+        gen::kQueryExample41, gen::kQueryExample21}) {
+    Mfa mfa = Compile(q);
+    EXPECT_TRUE(HasSplitProperty(mfa)) << q;
+    EXPECT_TRUE(CheckWellFormed(mfa).empty()) << q;
+  }
+}
+
+TEST(SplitPropertyTest, DetectsNotOnCycle) {
+  // Hand-build an AFA with NOT on a cycle: n0 = NOT(n1), n1 = OR(n0).
+  Mfa mfa;
+  MfaBuilder b(&mfa);
+  StateId s = b.NewNfaState();
+  mfa.start = s;
+  StateId or_state = b.NewOr({});
+  StateId not_state = b.NewNot(or_state);
+  b.SetOrOperands(or_state, {not_state});
+  EXPECT_FALSE(HasSplitProperty(mfa));
+}
+
+TEST(WellFormedTest, DetectsBrokenAutomata) {
+  Mfa mfa;
+  MfaBuilder b(&mfa);
+  StateId s = b.NewNfaState();
+  mfa.start = s;
+  EXPECT_TRUE(CheckWellFormed(mfa).empty());
+  mfa.nfa[s].eps.push_back(99);  // dangling
+  EXPECT_FALSE(CheckWellFormed(mfa).empty());
+}
+
+TEST(AfaEvalTest, TextPredicate) {
+  xml::Tree t = Doc("<r><d>x</d></r>");
+  Mfa mfa = Compile("r[d/text() = 'x']");  // compile to get an AFA arena
+  ASSERT_GT(mfa.num_afa_states(), 0);
+  std::vector<LabelId> binding(mfa.labels.size());
+  for (LabelId l = 0; l < mfa.labels.size(); ++l) {
+    binding[l] = t.labels().Lookup(mfa.labels.name(l));
+  }
+  // The annotated state's AFA entry evaluates true at the root (d child with
+  // text x) -- find the annotation.
+  StateId entry = kNoState;
+  for (const NfaState& st : mfa.nfa) {
+    if (st.afa_entry != kNoState) entry = st.afa_entry;
+  }
+  ASSERT_NE(entry, kNoState);
+  EXPECT_TRUE(EvalAfaNaive(mfa, binding, t, entry, t.root()));
+}
+
+TEST(ConceptualEvalTest, MatchesNaiveOnBasics) {
+  xml::Tree t = Doc(
+      "<r><a><x/><d>v</d></a><a><y/></a><b><a><x/></a></b><c>w</c></r>");
+  for (const char* q :
+       {".", "a", "*", "a/x", "a | b", "//a", "//a[x]", "a[x]", "a[not(x)]",
+        "a[x or y]", "b/a[x]", "(a | b)*", "a[d/text() = 'v']",
+        "c[text() = 'w']", "a[position() = 1]", ".[a]"}) {
+    EXPECT_EQ(RunConceptual(t, q), RunNaive(t, q)) << q;
+  }
+}
+
+TEST(ConceptualEvalTest, KleeneStarRecursion) {
+  xml::Tree t = Doc("<p><q><p><q><p/></q></p></q></p>");
+  for (const char* q : {"(q/p)*", "q*", "(p/q)*/p", "(q | p)*"}) {
+    EXPECT_EQ(RunConceptual(t, q), RunNaive(t, q)) << q;
+  }
+}
+
+TEST(ConceptualEvalTest, Fig4GoldenAnswer) {
+  gen::Fig4Tree fig = gen::MakeFig4Tree();
+  auto answers = RunConceptual(fig.tree, gen::kQueryExample41);
+  std::vector<xml::NodeId> expected = {fig.ids[9], fig.ids[11]};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(answers, expected);
+}
+
+TEST(ConceptualEvalTest, CountsAfaPasses) {
+  gen::Fig4Tree fig = gen::MakeFig4Tree();
+  Mfa mfa = Compile(gen::kQueryExample41);
+  ConceptualEvaluator eval(fig.tree, mfa);
+  eval.Eval(fig.tree.root());
+  // One pass per annotated-state activation: more than one, bounded by tree.
+  EXPECT_GT(eval.afa_passes(), 1);
+}
+
+TEST(ConceptualEvalTest, FilterOnIntermediateStep) {
+  // The filter guards an *intermediate* step; answers hang below it.
+  xml::Tree t = Doc("<r><a><ok/><b><c/></b></a><a><b><c/></b></a></r>");
+  EXPECT_EQ(RunConceptual(t, "a[ok]/b/c"), RunNaive(t, "a[ok]/b/c"));
+}
+
+TEST(MfaTest, ToDotProducesGraph) {
+  Mfa mfa = Compile("a[b]/c");
+  std::string dot = mfa.ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("lambda"), std::string::npos);
+}
+
+TEST(MfaTest, EpsClosureAndMove) {
+  Mfa mfa = Compile("a/b");
+  std::vector<StateId> states = {mfa.start};
+  EpsClosure(mfa, &states);
+  EXPECT_FALSE(states.empty());
+  // Move on label 'a' (bind MFA labels to a tiny tree's labels).
+  xml::Tree t = Doc("<a><b/></a>");
+  std::vector<LabelId> binding(mfa.labels.size());
+  for (LabelId l = 0; l < mfa.labels.size(); ++l) {
+    binding[l] = t.labels().Lookup(mfa.labels.name(l));
+  }
+  auto moved = Move(mfa, states, binding, t.label(t.root()));
+  EXPECT_FALSE(moved.empty());
+}
+
+}  // namespace
+}  // namespace smoqe::automata

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "eval/galax_substitute.h"
+#include "eval/naive_evaluator.h"
+#include "eval/xpath_baseline.h"
+#include "gen/fixtures.h"
+#include "gen/hospital_generator.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace smoqe::eval {
+namespace {
+
+xml::Tree Doc(const char* text) {
+  auto t = xml::ParseXml(text);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return t.take();
+}
+
+TEST(XPathBaselineTest, MatchesNaiveOnXQueries) {
+  xml::Tree t = Doc(
+      "<r><a><x/><d>v</d></a><a><y/></a><b><a><x/></a></b><c>w</c></r>");
+  XPathBaseline baseline(t);
+  NaiveEvaluator naive(t);
+  for (const char* q :
+       {".", "a", "*", "a/x", "a | b", "//a", "//a[x]", "a[not(x)]",
+        "a[x or y]", "a[d/text() = 'v']", "c[text() = 'w']", "//*",
+        "a[position() = 2]", ".//a/x", "b//x"}) {
+    auto query = xpath::ParseQuery(q);
+    ASSERT_TRUE(query.ok()) << q;
+    auto result = baseline.Eval(query.value(), t.root());
+    ASSERT_TRUE(result.ok()) << q;
+    EXPECT_EQ(result.value(), naive.Eval(query.value(), t.root())) << q;
+  }
+}
+
+TEST(XPathBaselineTest, RejectsGeneralKleeneStar) {
+  xml::Tree t = Doc("<r><a/></r>");
+  XPathBaseline baseline(t);
+  auto q = xpath::ParseQuery("(a/b)*");
+  ASSERT_TRUE(q.ok());
+  auto result = baseline.Eval(q.value(), t.root());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(XPathBaselineTest, AcceptsDescendantAxisStar) {
+  xml::Tree t = Doc("<r><a><a/></a></r>");
+  XPathBaseline baseline(t);
+  auto q = xpath::ParseQuery("//a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(baseline.Eval(q.value(), t.root()).ok());
+}
+
+TEST(GalaxSubstituteTest, MatchesNaiveIncludingStars) {
+  xml::Tree t = Doc("<p><q><p><q><p><z/></p></q></p></q></p>");
+  GalaxSubstitute galax(t);
+  NaiveEvaluator naive(t);
+  for (const char* q :
+       {"(q/p)*", "q*", "(p | q)*", "(q/p)*/z", "//z", "q[p]",
+        "(q/p)*[z | q]", "q/p[q[p[z]]]"}) {
+    auto query = xpath::ParseQuery(q);
+    ASSERT_TRUE(query.ok()) << q;
+    EXPECT_EQ(galax.Eval(query.value(), t.root()),
+              naive.Eval(query.value(), t.root()))
+        << q;
+  }
+}
+
+TEST(GalaxSubstituteTest, HospitalQueries) {
+  gen::HospitalParams params;
+  params.patients = 20;
+  params.seed = 9;
+  xml::Tree t = gen::GenerateHospital(params);
+  GalaxSubstitute galax(t);
+  NaiveEvaluator naive(t);
+  for (const char* q :
+       {"department/patient/(parent/patient)*",
+        "department/patient[visit/treatment/medication/diagnosis/"
+        "text() = 'heart disease']/pname"}) {
+    auto query = xpath::ParseQuery(q);
+    ASSERT_TRUE(query.ok());
+    EXPECT_EQ(galax.Eval(query.value(), t.root()),
+              naive.Eval(query.value(), t.root()))
+        << q;
+  }
+}
+
+}  // namespace
+}  // namespace smoqe::eval

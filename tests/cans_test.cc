@@ -1,0 +1,160 @@
+// Unit tests for the cans DAG itself, plus structural edge cases of the
+// HyPE traversal that exercise it (deletion semantics, diamond reachability,
+// empty graphs, wide fan-out).
+
+#include <gtest/gtest.h>
+
+#include "automata/compiler.h"
+#include "eval/naive_evaluator.h"
+#include "hype/cans.h"
+#include "hype/hype.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace smoqe::hype {
+namespace {
+
+TEST(CansGraphTest, EmptyGraphNoAnswers) {
+  CansGraph g;
+  EXPECT_TRUE(g.CollectAnswers().empty());
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(CansGraphTest, SimpleChainCollects) {
+  CansGraph g;
+  auto a = g.AddVertex(/*initial=*/true);
+  auto b = g.AddVertex(false);
+  auto c = g.AddVertex(false);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.SetAnswer(c, 42);
+  EXPECT_EQ(g.CollectAnswers(), (std::vector<xml::NodeId>{42}));
+}
+
+TEST(CansGraphTest, DeletionDisconnects) {
+  CansGraph g;
+  auto a = g.AddVertex(true);
+  auto b = g.AddVertex(false);
+  auto c = g.AddVertex(false);
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.SetAnswer(c, 7);
+  g.DeleteVertex(b);
+  EXPECT_TRUE(g.CollectAnswers().empty());
+}
+
+TEST(CansGraphTest, DiamondSurvivesOneDeletedPath) {
+  CansGraph g;
+  auto a = g.AddVertex(true);
+  auto left = g.AddVertex(false);
+  auto right = g.AddVertex(false);
+  auto d = g.AddVertex(false);
+  g.AddEdge(a, left);
+  g.AddEdge(a, right);
+  g.AddEdge(left, d);
+  g.AddEdge(right, d);
+  g.SetAnswer(d, 9);
+  g.DeleteVertex(left);
+  EXPECT_EQ(g.CollectAnswers(), (std::vector<xml::NodeId>{9}));
+  g.DeleteVertex(right);
+  EXPECT_TRUE(g.CollectAnswers().empty());
+}
+
+TEST(CansGraphTest, DeletedInitialDoesNotSeed) {
+  CansGraph g;
+  auto a = g.AddVertex(true);
+  g.SetAnswer(a, 1);
+  g.DeleteVertex(a);
+  EXPECT_TRUE(g.CollectAnswers().empty());
+}
+
+TEST(CansGraphTest, AnswersAreSortedAndDeduped) {
+  CansGraph g;
+  auto a = g.AddVertex(true);
+  auto b = g.AddVertex(true);
+  g.SetAnswer(a, 5);
+  g.SetAnswer(b, 5);
+  auto c = g.AddVertex(true);
+  g.SetAnswer(c, 2);
+  EXPECT_EQ(g.CollectAnswers(), (std::vector<xml::NodeId>{2, 5}));
+}
+
+TEST(CansGraphTest, CyclesInGraphTerminate) {
+  // ε-cycles in the NFA produce cycles among same-node vertices; phase two
+  // must handle them.
+  CansGraph g;
+  auto a = g.AddVertex(true);
+  auto b = g.AddVertex(false);
+  g.AddEdge(a, b);
+  g.AddEdge(b, a);
+  g.SetAnswer(b, 3);
+  EXPECT_EQ(g.CollectAnswers(), (std::vector<xml::NodeId>{3}));
+}
+
+// ---- HyPE traversal shapes that stress cans construction ----
+
+std::vector<xml::NodeId> RunBoth(const xml::Tree& t, const char* q) {
+  auto query = xpath::ParseQuery(q);
+  EXPECT_TRUE(query.ok()) << q;
+  automata::Mfa mfa = automata::CompileQuery(query.value());
+  HypeEvaluator hype(t, mfa);
+  auto got = hype.Eval(t.root());
+  auto expected =
+      eval::NaiveEvaluator(t).Eval(query.value(), t.root());
+  EXPECT_EQ(got, expected) << q;
+  return got;
+}
+
+TEST(CansHypeTest, WideFanOut) {
+  xml::Tree t;
+  xml::NodeId root = t.AddRoot("r");
+  for (int i = 0; i < 500; ++i) {
+    xml::NodeId a = t.AddElement(root, "a");
+    if (i % 3 == 0) t.AddElement(a, "m");
+    t.AddElement(a, "b");
+  }
+  EXPECT_EQ(RunBoth(t, "a[m]/b").size(), 167u);
+  RunBoth(t, "a[not(m)]/b");
+  RunBoth(t, "a[m or not(m)]");
+}
+
+TEST(CansHypeTest, GuardAtEveryLevel) {
+  // Nested guards: each level's filter refers to a subtree resolved later.
+  auto t = xml::ParseXml(
+      "<r><a><ok/><a><ok/><a><b/></a></a></a>"
+      "<a><a><ok/><a><ok/><b/></a></a></a></r>");
+  ASSERT_TRUE(t.ok());
+  RunBoth(t.value(), "(a[ok])*");
+  RunBoth(t.value(), "(a[ok])*/a[b]");
+  RunBoth(t.value(), "a[a[a]]/a/a");
+}
+
+TEST(CansHypeTest, UnionOfGuardedAndUnguarded) {
+  // One union branch is filter-free (no region), the other guarded (region):
+  // both kinds of answer emission must coexist in one run.
+  auto t = xml::ParseXml("<r><a><m/><b/></a><a><b/></a><c><b/></c></r>");
+  ASSERT_TRUE(t.ok());
+  RunBoth(t.value(), "c/b | a[m]/b");
+  RunBoth(t.value(), "a/b | a[m]/b");
+  RunBoth(t.value(), "(a | c)[b]/b");
+}
+
+TEST(CansHypeTest, FilterOnContextEpsilon) {
+  auto t = xml::ParseXml("<r><m/><a><b/></a></r>");
+  ASSERT_TRUE(t.ok());
+  RunBoth(t.value(), ".[m]/a/b");
+  RunBoth(t.value(), ".[x]/a/b");
+  RunBoth(t.value(), ".[m]/a[b]");
+}
+
+TEST(CansHypeTest, TextOnlyTree) {
+  auto t = xml::ParseXml("<r>just text<a>more</a>tail</r>");
+  ASSERT_TRUE(t.ok());
+  RunBoth(t.value(), "a[text() = 'more']");
+  RunBoth(t.value(), ".[text() = 'just text']");
+  RunBoth(t.value(), "a[text() = 'tail']");
+}
+
+}  // namespace
+}  // namespace smoqe::hype

@@ -1,0 +1,241 @@
+// HyPE correctness: equivalence with the reference evaluator on targeted
+// scenarios (filters resolved after descent, cans deletions, deep recursion),
+// plus the paper's Fig. 4/7 walkthrough and pruning statistics.
+
+#include <gtest/gtest.h>
+
+#include "automata/compiler.h"
+#include "eval/naive_evaluator.h"
+#include "gen/fixtures.h"
+#include "gen/hospital_generator.h"
+#include "hype/hype.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace smoqe::hype {
+namespace {
+
+xml::Tree Doc(const char* text) {
+  auto t = xml::ParseXml(text);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return t.take();
+}
+
+std::vector<xml::NodeId> RunHype(const xml::Tree& t, std::string_view q,
+                                 xml::NodeId context = -2) {
+  auto query = xpath::ParseQuery(q);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  automata::Mfa mfa = automata::CompileQuery(query.value());
+  HypeEvaluator eval(t, mfa);
+  return eval.Eval(context == -2 ? t.root() : context);
+}
+
+std::vector<xml::NodeId> RunNaive(const xml::Tree& t, std::string_view q,
+                                  xml::NodeId context = -2) {
+  auto query = xpath::ParseQuery(q);
+  EXPECT_TRUE(query.ok());
+  return eval::NaiveEvaluator(t).Eval(query.value(),
+                                      context == -2 ? t.root() : context);
+}
+
+TEST(HypeTest, BasicSteps) {
+  xml::Tree t = Doc("<r><a><x/></a><a/><b><x/></b></r>");
+  for (const char* q : {".", "a", "*", "a/x", "a | b", "b/x", "missing"}) {
+    EXPECT_EQ(RunHype(t, q), RunNaive(t, q)) << q;
+  }
+}
+
+TEST(HypeTest, FiltersBasic) {
+  xml::Tree t = Doc("<r><a><x/></a><a><y/></a><a/></r>");
+  for (const char* q :
+       {"a[x]", "a[y]", "a[x | y]", "a[not(x)]", "a[x or y]",
+        "a[not(x) and not(y)]", "a[.]", "a[not(.)]"}) {
+    EXPECT_EQ(RunHype(t, q), RunNaive(t, q)) << q;
+  }
+}
+
+TEST(HypeTest, TextAndPositionPredicates) {
+  xml::Tree t = Doc("<r><d>x</d><d>y</d><a><d>x</d></a></r>");
+  for (const char* q :
+       {"d[text() = 'x']", "d[text() = 'z']", "a[d/text() = 'x']",
+        "d[position() = 2]", "*[position() = 3]", "a[position() = 3]"}) {
+    EXPECT_EQ(RunHype(t, q), RunNaive(t, q)) << q;
+  }
+}
+
+TEST(HypeTest, DescendantAxis) {
+  xml::Tree t = Doc("<r><a><b><a><b/></a></b></a></r>");
+  for (const char* q : {"//a", "//b", "//a[b]", "a//b", ".//.", "//*"}) {
+    EXPECT_EQ(RunHype(t, q), RunNaive(t, q)) << q;
+  }
+}
+
+TEST(HypeTest, KleeneStars) {
+  xml::Tree t = Doc("<p><q><p><q><p><z/></p></q></p></q></p>");
+  for (const char* q :
+       {"(q/p)*", "q*", "(p | q)*", "(q/p)*/z", "((q/p)*)*", "(q/p)*[z]"}) {
+    EXPECT_EQ(RunHype(t, q), RunNaive(t, q)) << q;
+  }
+}
+
+TEST(HypeTest, FilterInsideStarBody) {
+  xml::Tree t = Doc("<r><a><m/><a><m/><a><b/></a></a></a></r>");
+  for (const char* q : {"(a[m])*", "(a[m])*/a[b]", "(a[not(m)])*"}) {
+    EXPECT_EQ(RunHype(t, q), RunNaive(t, q)) << q;
+  }
+}
+
+TEST(HypeTest, StarInsideFilter) {
+  gen::Fig4Tree fig = gen::MakeFig4Tree();
+  const char* q = "patient[(parent/patient)*/record]";
+  EXPECT_EQ(RunHype(fig.tree, q), RunNaive(fig.tree, q));
+}
+
+TEST(HypeTest, FilterOnIntermediateStepResolvedLate) {
+  // The filter at 'a' depends on a subtree ('deep/x') explored after the
+  // candidate answers below 'b' -- exercises cans deletion.
+  xml::Tree t = Doc(
+      "<r>"
+      "<a><b><c/></b><deep><x/></deep></a>"
+      "<a><b><c/></b><deep></deep></a>"
+      "</r>");
+  const char* q = "a[deep/x]/b/c";
+  EXPECT_EQ(RunHype(t, q), RunNaive(t, q));
+  EXPECT_EQ(RunHype(t, q).size(), 1u);
+}
+
+TEST(HypeTest, NegatedLateFilter) {
+  xml::Tree t = Doc(
+      "<r>"
+      "<a><b><c/></b><deep><x/></deep></a>"
+      "<a><b><c/></b><deep></deep></a>"
+      "</r>");
+  const char* q = "a[not(deep/x)]/b/c";
+  EXPECT_EQ(RunHype(t, q), RunNaive(t, q));
+}
+
+TEST(HypeTest, MultipleFiltersOnPath) {
+  xml::Tree t = Doc(
+      "<r><a><p/><b><q/><c><s/></c></b></a>"
+      "<a><b><q/><c><s/></c></b></a>"
+      "<a><p/><b><c><s/></c></b></a></r>");
+  const char* q = "a[p]/b[q]/c[s]";
+  EXPECT_EQ(RunHype(t, q), RunNaive(t, q));
+  EXPECT_EQ(RunHype(t, q).size(), 1u);
+}
+
+TEST(HypeTest, Fig4GoldenAnswer) {
+  gen::Fig4Tree fig = gen::MakeFig4Tree();
+  auto answers = RunHype(fig.tree, gen::kQueryExample41);
+  std::vector<xml::NodeId> expected = {fig.ids[9], fig.ids[11]};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(answers, expected);
+}
+
+TEST(HypeTest, ContextNodeCanBeAnswer) {
+  xml::Tree t = Doc("<r><a/></r>");
+  auto ids = RunHype(t, ".");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], t.root());
+  // Zero star iterations select the context itself; one selects the child.
+  EXPECT_EQ(RunHype(t, "a*").size(), 2u);
+  EXPECT_EQ(RunHype(t, "a*"), RunNaive(t, "a*"));
+  // A guard on the context node (via eps) controls reachability of answers.
+  EXPECT_EQ(RunHype(t, ".[a]/a"), RunNaive(t, ".[a]/a"));
+  EXPECT_EQ(RunHype(t, ".[b]/a").size(), 0u);
+}
+
+TEST(HypeTest, EvalAtNonRootContext) {
+  xml::Tree t = Doc("<r><a><b/></a><b/></r>");
+  xml::NodeId a = t.first_child(t.root());
+  EXPECT_EQ(RunHype(t, "b", a), RunNaive(t, "b", a));
+}
+
+TEST(HypeTest, EvalIsRepeatable) {
+  gen::Fig4Tree fig = gen::MakeFig4Tree();
+  auto q = xpath::ParseQuery(gen::kQueryExample41);
+  ASSERT_TRUE(q.ok());
+  automata::Mfa mfa = automata::CompileQuery(q.value());
+  HypeEvaluator eval(fig.tree, mfa);
+  auto first = eval.Eval(fig.tree.root());
+  auto second = eval.Eval(fig.tree.root());
+  EXPECT_EQ(first, second);
+}
+
+TEST(HypeTest, DeepChainNoStackIssuesAtModerateDepth) {
+  xml::Tree t;
+  xml::NodeId n = t.AddRoot("a");
+  for (int i = 0; i < 200; ++i) n = t.AddElement(n, "a");
+  t.AddElement(n, "b");
+  EXPECT_EQ(RunHype(t, "a*/b").size(), 1u);
+  EXPECT_EQ(RunHype(t, "//b").size(), 1u);
+}
+
+TEST(HypeStatsTest, PruningSkipsIrrelevantSubtrees) {
+  gen::HospitalParams params;
+  params.patients = 50;
+  params.seed = 11;
+  xml::Tree t = gen::GenerateHospital(params);
+  auto q = xpath::ParseQuery("department/patient/pname");
+  ASSERT_TRUE(q.ok());
+  automata::Mfa mfa = automata::CompileQuery(q.value());
+  HypeEvaluator eval(t, mfa);
+  auto answers = eval.Eval(t.root());
+  EXPECT_FALSE(answers.empty());
+  const EvalStats& stats = eval.stats();
+  EXPECT_EQ(stats.elements_total, t.CountElements());
+  EXPECT_LT(stats.elements_visited, stats.elements_total);
+  EXPECT_GT(stats.PrunedFraction(), 0.3);
+  // Filter-free query: no cans region ever opens (answers emit directly).
+  EXPECT_EQ(stats.cans_vertices, 0);
+}
+
+TEST(HypeStatsTest, CansRegionOpensOnlyUnderFilters) {
+  gen::HospitalParams params;
+  params.patients = 50;
+  params.seed = 11;
+  xml::Tree t = gen::GenerateHospital(params);
+  auto q = xpath::ParseQuery("department/patient[visit]/pname");
+  ASSERT_TRUE(q.ok());
+  automata::Mfa mfa = automata::CompileQuery(q.value());
+  HypeEvaluator eval(t, mfa);
+  auto answers = eval.Eval(t.root());
+  EXPECT_FALSE(answers.empty());
+  // Filters exist, so cans is used -- but stays far smaller than the tree.
+  EXPECT_GT(eval.stats().cans_vertices, 0);
+  EXPECT_LT(eval.stats().cans_vertices, t.CountElements());
+}
+
+TEST(HypeStatsTest, UnselectiveQueryVisitsEverything) {
+  xml::Tree t = Doc("<r><a><b/></a><c><d/></c></r>");
+  auto q = xpath::ParseQuery(".//.");
+  ASSERT_TRUE(q.ok());
+  automata::Mfa mfa = automata::CompileQuery(q.value());
+  HypeEvaluator eval(t, mfa);
+  EXPECT_EQ(eval.Eval(t.root()).size(), 5u);
+  EXPECT_EQ(eval.stats().elements_visited, 5);
+  EXPECT_DOUBLE_EQ(eval.stats().PrunedFraction(), 0.0);
+}
+
+TEST(HypeTest, HospitalQueriesMatchNaive) {
+  gen::HospitalParams params;
+  params.patients = 30;
+  params.seed = 3;
+  params.heart_disease_prob = 0.3;
+  xml::Tree t = gen::GenerateHospital(params);
+  for (const char* q : {
+           "department/patient[visit/treatment/medication/diagnosis/"
+           "text() = 'heart disease']",
+           "department/patient[visit/treatment/test]/pname",
+           "//patient[visit/treatment/medication]",
+           "department/patient/(parent/patient)*[visit/treatment/"
+           "medication/diagnosis/text() = 'heart disease']",
+           "//diagnosis",
+           gen::kQueryExample21,
+       }) {
+    EXPECT_EQ(RunHype(t, q), RunNaive(t, q)) << q;
+  }
+}
+
+}  // namespace
+}  // namespace smoqe::hype

@@ -1,0 +1,212 @@
+// Semantics tests for the reference evaluator, including the paper's worked
+// examples. Every other engine is later tested against this one.
+
+#include <gtest/gtest.h>
+
+#include "eval/naive_evaluator.h"
+#include "gen/fixtures.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace smoqe::eval {
+namespace {
+
+xml::Tree Doc(const char* text) {
+  auto t = xml::ParseXml(text);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return t.take();
+}
+
+NodeSet EvalQ(const xml::Tree& tree, std::string_view query) {
+  auto q = xpath::ParseQuery(query);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return NaiveEvaluator(tree).Eval(q.value(), tree.root());
+}
+
+std::vector<std::string> Labels(const xml::Tree& tree, const NodeSet& nodes) {
+  std::vector<std::string> out;
+  for (xml::NodeId n : nodes) out.push_back(tree.label_name(n));
+  return out;
+}
+
+TEST(NaiveEvalTest, SelfAndChild) {
+  xml::Tree t = Doc("<a><b/><b/><c/></a>");
+  EXPECT_EQ(EvalQ(t, ".").size(), 1u);
+  EXPECT_EQ(EvalQ(t, ".")[0], t.root());
+  EXPECT_EQ(EvalQ(t, "b").size(), 2u);
+  EXPECT_EQ(EvalQ(t, "c").size(), 1u);
+  EXPECT_EQ(EvalQ(t, "d").size(), 0u);
+}
+
+TEST(NaiveEvalTest, WildcardSelectsAllElementChildren) {
+  xml::Tree t = Doc("<a><b/>text<c/></a>");
+  EXPECT_EQ(EvalQ(t, "*").size(), 2u);
+}
+
+TEST(NaiveEvalTest, SeqComposition) {
+  xml::Tree t = Doc("<a><b><c/></b><b><d/></b></a>");
+  EXPECT_EQ(Labels(t, EvalQ(t, "b/c")), std::vector<std::string>{"c"});
+  EXPECT_EQ(EvalQ(t, "b/*").size(), 2u);
+}
+
+TEST(NaiveEvalTest, UnionDeduplicates) {
+  xml::Tree t = Doc("<a><b/><c/></a>");
+  EXPECT_EQ(EvalQ(t, "b | c | b").size(), 2u);
+  EXPECT_EQ(EvalQ(t, "* | b").size(), 2u);
+}
+
+TEST(NaiveEvalTest, DescendantOrSelf) {
+  xml::Tree t = Doc("<a><b><c><b/></c></b></a>");
+  // //b finds both b's.
+  EXPECT_EQ(EvalQ(t, "//b").size(), 2u);
+  // a itself is not a child of the context (context = root 'a').
+  EXPECT_EQ(EvalQ(t, "//a").size(), 0u);
+  // .// includes self.
+  NodeSet all = EvalQ(t, ".//.");
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(NaiveEvalTest, KleeneStarClosure) {
+  xml::Tree t = Doc("<a><a><a><b/></a></a></a>");
+  // a* from root: root (0 steps), child, grandchild.
+  EXPECT_EQ(EvalQ(t, "a*").size(), 3u);
+  EXPECT_EQ(EvalQ(t, "a*/b").size(), 1u);
+  // (a/a)* : even-length chains only: root and grandchild.
+  EXPECT_EQ(EvalQ(t, "(a/a)*").size(), 2u);
+}
+
+TEST(NaiveEvalTest, StarOfUnion) {
+  xml::Tree t = Doc("<r><a><b><a/></b></a></r>");
+  EXPECT_EQ(EvalQ(t, "(a | b)*").size(), 4u);  // r, a, b, inner a
+}
+
+TEST(NaiveEvalTest, FilterExistence) {
+  xml::Tree t = Doc("<r><a><x/></a><a/><a><y/></a></r>");
+  EXPECT_EQ(EvalQ(t, "a[x]").size(), 1u);
+  EXPECT_EQ(EvalQ(t, "a[x | y]").size(), 2u);
+  EXPECT_EQ(EvalQ(t, "a[z]").size(), 0u);
+  EXPECT_EQ(EvalQ(t, "a[.]").size(), 3u);  // self always exists
+}
+
+TEST(NaiveEvalTest, FilterTextEquals) {
+  xml::Tree t = Doc("<r><a><d>x</d></a><a><d>y</d></a></r>");
+  EXPECT_EQ(EvalQ(t, "a[d/text() = 'x']").size(), 1u);
+  EXPECT_EQ(EvalQ(t, "a[d/text() = 'z']").size(), 0u);
+  EXPECT_EQ(EvalQ(t, "a/d[text() = 'y']").size(), 1u);
+}
+
+TEST(NaiveEvalTest, FilterBooleans) {
+  xml::Tree t = Doc("<r><a><x/><y/></a><a><x/></a><a><y/></a><a/></r>");
+  EXPECT_EQ(EvalQ(t, "a[x and y]").size(), 1u);
+  EXPECT_EQ(EvalQ(t, "a[x or y]").size(), 3u);
+  EXPECT_EQ(EvalQ(t, "a[not(x)]").size(), 2u);
+  EXPECT_EQ(EvalQ(t, "a[not(x) and not(y)]").size(), 1u);
+  EXPECT_EQ(EvalQ(t, "a[x and not(y)]").size(), 1u);
+}
+
+TEST(NaiveEvalTest, FilterPosition) {
+  xml::Tree t = Doc("<r><a/><a/><a/></r>");
+  NodeSet second = EvalQ(t, "a[position() = 2]");
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(t.child_index(second[0]), 2);
+}
+
+TEST(NaiveEvalTest, NestedFilters) {
+  xml::Tree t = Doc("<r><a><b><c/></b></a><a><b/></a></r>");
+  EXPECT_EQ(EvalQ(t, "a[b[c]]").size(), 1u);
+  EXPECT_EQ(EvalQ(t, "a[b[not(c)]]").size(), 1u);
+}
+
+TEST(NaiveEvalTest, FilterInsideStar) {
+  // Chain of a's where only some have a marker; (a[m])* walks only marked.
+  xml::Tree t = Doc("<r><a><m/><a><m/><a><b/></a></a></a></r>");
+  // (a[m])* from r: r, first a (has m), second a (has m); third a lacks m.
+  EXPECT_EQ(EvalQ(t, "(a[m])*").size(), 3u);
+  EXPECT_EQ(EvalQ(t, "(a[m])*/a[b]").size(), 1u);
+}
+
+TEST(NaiveEvalTest, EmptyQuerySelectsNothing) {
+  xml::Tree t = Doc("<r><a/></r>");
+  EXPECT_EQ(EvalQ(t, ".[not(.)]").size(), 0u);
+}
+
+TEST(NaiveEvalTest, EvalAtNonRootContext) {
+  xml::Tree t = Doc("<r><a><b/></a><b/></r>");
+  NaiveEvaluator eval(t);
+  auto q = xpath::ParseQuery("b");
+  ASSERT_TRUE(q.ok());
+  xml::NodeId a = t.first_child(t.root());
+  NodeSet from_a = eval.Eval(q.value(), a);
+  ASSERT_EQ(from_a.size(), 1u);
+  EXPECT_EQ(t.parent(from_a[0]), a);
+}
+
+TEST(NaiveEvalTest, EvalSetDeduplicatesAcrossContexts) {
+  xml::Tree t = Doc("<r><a><c/></a><a><c/></a></r>");
+  NaiveEvaluator eval(t);
+  auto q = xpath::ParseQuery("c");
+  ASSERT_TRUE(q.ok());
+  NodeSet contexts = eval.Eval(xpath::ParseQuery("a").value(), t.root());
+  ASSERT_EQ(contexts.size(), 2u);
+  EXPECT_EQ(eval.EvalSet(q.value(), contexts).size(), 2u);
+}
+
+// ---- The paper's worked examples ----
+
+TEST(NaiveEvalTest, Example41OnFig4Tree) {
+  gen::Fig4Tree fig = gen::MakeFig4Tree();
+  auto q = xpath::ParseQuery(gen::kQueryExample41);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  NodeSet answers = NaiveEvaluator(fig.tree).Eval(q.value(), fig.tree.root());
+  // Section 6 / Fig. 7: "nodes 9 and 11 ... are in the answer".
+  NodeSet expected = {fig.ids[9], fig.ids[11]};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(answers, expected);
+}
+
+TEST(NaiveEvalTest, Example41FilterRejectsNode2) {
+  // AFA0 at node 2 evaluates to false (its diagnoses are lung/brain disease).
+  gen::Fig4Tree fig = gen::MakeFig4Tree();
+  auto f = xpath::ParseFilterExpr(
+      "(parent/patient)*/record/diagnosis[text() = 'heart disease']");
+  ASSERT_TRUE(f.ok());
+  NaiveEvaluator eval(fig.tree);
+  EXPECT_FALSE(eval.EvalFilter(f.value(), fig.ids[2]));
+  EXPECT_TRUE(eval.EvalFilter(f.value(), fig.ids[9]));
+  EXPECT_TRUE(eval.EvalFilter(f.value(), fig.ids[11]));
+  EXPECT_FALSE(eval.EvalFilter(f.value(), fig.ids[4]));
+}
+
+TEST(NaiveEvalTest, Example21SkipsAGeneration) {
+  // Build a source-like chain where the disease skips generations:
+  // p0 (heart) -> parent p1 (no) -> parent p2 (heart) -> parent p3 (no) ->
+  // parent p4 (heart). Query of Example 2.1 must select p0's pname.
+  xml::Tree t = Doc(
+      "<hospital><department><name>d</name>"
+      "<address><street>s</street><city>c</city><zip>z</zip></address>"
+      "<patient><pname>p0</pname>"
+      "<address><street>s</street><city>c</city><zip>z</zip></address>"
+      "<visit><date>x</date><treatment><medication><type>t</type>"
+      "<diagnosis>heart disease</diagnosis></medication></treatment>"
+      "<doctor><dname>n</dname><specialty>s</specialty></doctor></visit>"
+      "<parent><patient><pname>p1</pname>"
+      "<address><street>s</street><city>c</city><zip>z</zip></address>"
+      "<visit><date>x</date><treatment><medication><type>t</type>"
+      "<diagnosis>influenza</diagnosis></medication></treatment>"
+      "<doctor><dname>n</dname><specialty>s</specialty></doctor></visit>"
+      "<parent><patient><pname>p2</pname>"
+      "<address><street>s</street><city>c</city><zip>z</zip></address>"
+      "<visit><date>x</date><treatment><medication><type>t</type>"
+      "<diagnosis>heart disease</diagnosis></medication></treatment>"
+      "<doctor><dname>n</dname><specialty>s</specialty></doctor></visit>"
+      "</patient></parent></patient></parent>"
+      "</patient></department></hospital>");
+  auto q = xpath::ParseQuery(gen::kQueryExample21);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  NodeSet answers = NaiveEvaluator(t).Eval(q.value(), t.root());
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(t.TextOf(answers[0]), "p0");
+}
+
+}  // namespace
+}  // namespace smoqe::eval

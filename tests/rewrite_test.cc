@@ -1,0 +1,247 @@
+// Algorithm rewrite (Section 5): the rewritten MFA on the source must agree
+// with the query on the materialized view, including the paper's Examples
+// 1.1/3.1 and the security property that motivated the whole construction.
+
+#include <gtest/gtest.h>
+
+#include "automata/conceptual_eval.h"
+#include "automata/mfa.h"
+#include "eval/naive_evaluator.h"
+#include "gen/fixtures.h"
+#include "gen/hospital_generator.h"
+#include "hype/hype.h"
+#include "rewrite/rewriter.h"
+#include "view/materializer.h"
+#include "view/view_parser.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace smoqe::rewrite {
+namespace {
+
+using NodeVec = std::vector<xml::NodeId>;
+
+// Oracle: evaluate on the materialized view, map through provenance.
+NodeVec ViewAnswer(const view::ViewDef& def, const xml::Tree& source,
+                   std::string_view query) {
+  auto mat = view::Materialize(def, source);
+  EXPECT_TRUE(mat.ok()) << mat.status().ToString();
+  auto q = xpath::ParseQuery(query);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  eval::NodeSet on_view =
+      eval::NaiveEvaluator(mat.value().tree).Eval(q.value(), mat.value().tree.root());
+  return view::MapToSource(mat.value(), on_view);
+}
+
+// System under test: rewrite to MFA, evaluate on the source with HyPE.
+NodeVec RewrittenAnswer(const view::ViewDef& def, const xml::Tree& source,
+                        std::string_view query) {
+  auto q = xpath::ParseQuery(query);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto mfa = RewriteToMfa(q.value(), def);
+  EXPECT_TRUE(mfa.ok()) << mfa.status().ToString();
+  EXPECT_TRUE(automata::CheckWellFormed(mfa.value()).empty());
+  hype::HypeEvaluator eval(source, mfa.value());
+  return eval.Eval(source.root());
+}
+
+xml::Tree Hospital(int patients, uint64_t seed, double heart = 0.3) {
+  gen::HospitalParams params;
+  params.patients = patients;
+  params.seed = seed;
+  params.heart_disease_prob = heart;
+  return gen::GenerateHospital(params);
+}
+
+class HospitalRewriteTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HospitalRewriteTest, AgreesWithMaterializedView) {
+  view::ViewDef def = gen::HospitalView();
+  xml::Tree source = Hospital(25, 17);
+  EXPECT_EQ(RewrittenAnswer(def, source, GetParam()),
+            ViewAnswer(def, source, GetParam()))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ViewQueries, HospitalRewriteTest,
+    ::testing::Values(
+        // plain navigation
+        "patient", "patient/record", "patient/parent/patient",
+        "patient/record/diagnosis", ".", "*", "*/*",
+        // wildcards and unions
+        "patient/(parent | record)", "patient/*",
+        "patient/parent/patient/record | patient/record",
+        // descendant axis over the recursive view
+        "//record", "//diagnosis", "//patient", "patient//record",
+        // Kleene stars following the view recursion
+        "(patient/parent)*/patient",
+        "patient/(parent/patient)*/record",
+        "(patient | parent)*",
+        // filters
+        "patient[record]", "patient[parent]",
+        "patient[record/diagnosis/text() = 'heart disease']",
+        "patient[not(parent)]",
+        "patient[parent/patient/record/empty]",
+        "patient[record/diagnosis/text() = 'heart disease' and parent]",
+        "patient[record/diagnosis/text() = 'heart disease' or parent]",
+        // filters with stars inside
+        "patient[(parent/patient)*/record/diagnosis/text() = 'heart disease']",
+        // nested filters
+        "patient[parent/patient[record/diagnosis]]",
+        // text test on a non-str type never matches
+        "patient[record/text() = 'x']",
+        // the paper's Examples 1.1 and 4.1
+        "patient[*//record/diagnosis/text() = 'heart disease']",
+        "(patient/parent)*/patient[(parent/patient)*/record/diagnosis["
+        "text() = 'heart disease']]"));
+
+TEST(RewriteTest, SeedsAndSizesSweep) {
+  view::ViewDef def = gen::HospitalView();
+  const char* query = gen::kQueryExample11;
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    for (int patients : {5, 20, 60}) {
+      xml::Tree source = Hospital(patients, seed);
+      EXPECT_EQ(RewrittenAnswer(def, source, query),
+                ViewAnswer(def, source, query))
+          << "seed " << seed << " patients " << patients;
+    }
+  }
+}
+
+TEST(RewriteTest, Example31HandRewritingAgrees) {
+  // The paper's hand-computed Q' (Example 3.1) evaluated directly on the
+  // source must match our automaton rewriting of Q (Example 1.1).
+  view::ViewDef def = gen::HospitalView();
+  xml::Tree source = Hospital(40, 23);
+  auto hand = xpath::ParseQuery(gen::kQueryExample31Rewritten);
+  ASSERT_TRUE(hand.ok());
+  eval::NodeSet by_hand =
+      eval::NaiveEvaluator(source).Eval(hand.value(), source.root());
+  EXPECT_EQ(RewrittenAnswer(def, source, gen::kQueryExample11), by_hand);
+}
+
+TEST(RewriteTest, SecurityNoSiblingLeak) {
+  // Example 1.1's concern: a naive '//'-preserving translation would reach
+  // sibling data. The MFA rewriting must never return nodes under <sibling>.
+  view::ViewDef def = gen::HospitalView();
+  gen::HospitalParams params;
+  params.patients = 40;
+  params.sibling_prob = 0.9;  // lots of siblings to leak
+  params.heart_disease_prob = 0.5;
+  params.seed = 99;
+  xml::Tree source = gen::GenerateHospital(params);
+  NodeVec answers =
+      RewrittenAnswer(def, source, "patient[*//record/diagnosis]//diagnosis");
+  for (xml::NodeId n : answers) {
+    for (xml::NodeId a = n; a != xml::kNullNode; a = source.parent(a)) {
+      ASSERT_NE(source.label_name(a), "sibling") << "sibling data leaked";
+    }
+  }
+  // And the incorrect translation (keep '//' on the source) DOES leak,
+  // demonstrating Theorem 3.1's point.
+  auto naive_translation = xpath::ParseQuery(
+      "department/patient[visit/treatment/medication/diagnosis/text() = "
+      "'heart disease']//diagnosis");
+  ASSERT_TRUE(naive_translation.ok());
+  eval::NodeSet leaked = eval::NaiveEvaluator(source).Eval(
+      naive_translation.value(), source.root());
+  bool touches_sibling = false;
+  for (xml::NodeId n : leaked) {
+    for (xml::NodeId a = n; a != xml::kNullNode; a = source.parent(a)) {
+      if (source.label_name(a) == "sibling") touches_sibling = true;
+    }
+  }
+  EXPECT_TRUE(touches_sibling)
+      << "expected the naive translation to leak (seed-dependent; grow the "
+         "document if this fires)";
+}
+
+TEST(RewriteTest, RewrittenMfaKeepsSplitProperty) {
+  view::ViewDef def = gen::HospitalView();
+  for (const char* q :
+       {gen::kQueryExample11, gen::kQueryExample41, "//record",
+        "patient[not((parent/patient)*/record)]"}) {
+    auto query = xpath::ParseQuery(q);
+    ASSERT_TRUE(query.ok());
+    auto mfa = RewriteToMfa(query.value(), def);
+    ASSERT_TRUE(mfa.ok()) << mfa.status().ToString();
+    EXPECT_TRUE(automata::HasSplitProperty(mfa.value())) << q;
+  }
+}
+
+TEST(RewriteTest, Theorem51SizeBound) {
+  // MFA size grows linearly in |Q| (times |σ||D_V|, constants here).
+  view::ViewDef def = gen::HospitalView();
+  int64_t budget = def.SizeMeasure() * def.view_dtd().SizeMeasure();
+  std::string q = "patient";
+  auto base = RewriteToMfa(xpath::ParseQuery(q).value(), def);
+  ASSERT_TRUE(base.ok());
+  int64_t prev = base.value().SizeMeasure();
+  for (int i = 0; i < 6; ++i) {
+    q = "patient/parent/" + q;
+    auto mfa = RewriteToMfa(xpath::ParseQuery(q).value(), def);
+    ASSERT_TRUE(mfa.ok());
+    int64_t size = mfa.value().SizeMeasure();
+    EXPECT_LE(size - prev, 4 * budget) << "growth per step must stay bounded";
+    prev = size;
+  }
+}
+
+TEST(RewriteTest, PositionInViewQueryRejected) {
+  view::ViewDef def = gen::HospitalView();
+  auto q = xpath::ParseQuery("patient[position() = 1]");
+  ASSERT_TRUE(q.ok());
+  auto mfa = RewriteToMfa(q.value(), def);
+  ASSERT_FALSE(mfa.ok());
+  EXPECT_EQ(mfa.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(RewriteTest, LabelAbsentFromViewSelectsNothing) {
+  view::ViewDef def = gen::HospitalView();
+  xml::Tree source = Hospital(10, 7);
+  EXPECT_TRUE(RewrittenAnswer(def, source, "department").empty());
+  EXPECT_TRUE(RewrittenAnswer(def, source, "patient/sibling").empty());
+}
+
+TEST(RewriteTest, NonRecursiveViewToo) {
+  // A flat projection view over a non-recursive source.
+  const char* spec = R"(
+view flat {
+  source dtd lib { lib -> book* ; book -> title, year ; title -> #text ;
+                   year -> #text ; }
+  view dtd catalog { catalog -> entry* ; entry -> title ; title -> #text ; }
+  sigma { catalog.entry = "book[year/text() = '2007']" ;
+          entry.title = "title" ; }
+}
+)";
+  auto def = view::ParseView(spec);
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  auto source = xml::ParseXml(
+      "<lib><book><title>a</title><year>2007</year></book>"
+      "<book><title>b</title><year>2004</year></book>"
+      "<book><title>c</title><year>2007</year></book></lib>");
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(RewrittenAnswer(def.value(), source.value(), "entry").size(), 2u);
+  EXPECT_EQ(RewrittenAnswer(def.value(), source.value(),
+                            "entry/title[text() = 'a']")
+                .size(),
+            1u);
+  EXPECT_EQ(RewrittenAnswer(def.value(), source.value(), "entry/title"),
+            ViewAnswer(def.value(), source.value(), "entry/title"));
+}
+
+TEST(RewriteTest, ConceptualEvaluatorAgreesOnRewrittenMfa) {
+  view::ViewDef def = gen::HospitalView();
+  xml::Tree source = Hospital(15, 31);
+  auto q = xpath::ParseQuery(gen::kQueryExample41);
+  ASSERT_TRUE(q.ok());
+  auto mfa = RewriteToMfa(q.value(), def);
+  ASSERT_TRUE(mfa.ok());
+  automata::ConceptualEvaluator conceptual(source, mfa.value());
+  hype::HypeEvaluator hype(source, mfa.value());
+  EXPECT_EQ(conceptual.Eval(source.root()), hype.Eval(source.root()));
+}
+
+}  // namespace
+}  // namespace smoqe::rewrite

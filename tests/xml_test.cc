@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/tree.h"
+#include "xml/writer.h"
+
+namespace smoqe::xml {
+namespace {
+
+TEST(TreeTest, BuildAndNavigate) {
+  Tree t;
+  NodeId root = t.AddRoot("a");
+  NodeId b = t.AddElement(root, "b");
+  NodeId c = t.AddElement(root, "c");
+  NodeId d = t.AddElement(b, "d");
+  EXPECT_EQ(t.root(), root);
+  EXPECT_EQ(t.parent(b), root);
+  EXPECT_EQ(t.first_child(root), b);
+  EXPECT_EQ(t.next_sibling(b), c);
+  EXPECT_EQ(t.next_sibling(c), kNullNode);
+  EXPECT_EQ(t.first_child(b), d);
+  EXPECT_EQ(t.label_name(d), "d");
+  EXPECT_EQ(t.size(), 4);
+}
+
+TEST(TreeTest, ChildIndexIsOneBased) {
+  Tree t;
+  NodeId root = t.AddRoot("a");
+  NodeId b1 = t.AddElement(root, "b");
+  NodeId b2 = t.AddElement(root, "b");
+  NodeId b3 = t.AddElement(root, "b");
+  EXPECT_EQ(t.child_index(root), 1);
+  EXPECT_EQ(t.child_index(b1), 1);
+  EXPECT_EQ(t.child_index(b2), 2);
+  EXPECT_EQ(t.child_index(b3), 3);
+}
+
+TEST(TreeTest, TextHandling) {
+  Tree t;
+  NodeId root = t.AddRoot("a");
+  t.AddText(root, "hello ");
+  t.AddText(root, "world");
+  EXPECT_EQ(t.TextOf(root), "hello world");
+  EXPECT_TRUE(t.HasText(root, "hello world"));  // concatenation
+  EXPECT_TRUE(t.HasText(root, "hello "));       // single text child
+  EXPECT_FALSE(t.HasText(root, "goodbye"));
+  EXPECT_EQ(t.CountElements(), 1);
+  EXPECT_EQ(t.CountTexts(), 2);
+}
+
+TEST(TreeTest, DepthOfChain) {
+  Tree t;
+  NodeId n = t.AddRoot("a");
+  for (int i = 0; i < 9; ++i) n = t.AddElement(n, "a");
+  EXPECT_EQ(t.Depth(), 10);
+}
+
+TEST(TreeTest, EmptyTree) {
+  Tree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Depth(), 0);
+}
+
+TEST(ParserTest, MinimalDocument) {
+  auto t = ParseXml("<a/>");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().label_name(t.value().root()), "a");
+  EXPECT_EQ(t.value().size(), 1);
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  auto t = ParseXml("<a><b>x</b><c><d>y</d></c></a>");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  const Tree& tree = t.value();
+  EXPECT_EQ(tree.CountElements(), 4);
+  EXPECT_EQ(tree.CountTexts(), 2);
+  NodeId b = tree.first_child(tree.root());
+  EXPECT_EQ(tree.TextOf(b), "x");
+}
+
+TEST(ParserTest, WhitespaceOnlyTextIsDropped) {
+  auto t = ParseXml("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().CountTexts(), 0);
+  EXPECT_EQ(t.value().CountElements(), 3);
+}
+
+TEST(ParserTest, EntitiesDecoded) {
+  auto t = ParseXml("<a>&lt;x&gt; &amp; &quot;y&apos; &#65;</a>");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().TextOf(t.value().root()), "<x> & \"y' A");
+}
+
+TEST(ParserTest, CommentsAndPIsSkipped) {
+  auto t = ParseXml(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/></a>");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().CountElements(), 2);
+}
+
+TEST(ParserTest, MismatchedTagIsError) {
+  auto t = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kParseError);
+  EXPECT_NE(t.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(ParserTest, AttributesRejected) {
+  auto t = ParseXml("<a id=\"1\"/>");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("attributes"), std::string::npos);
+}
+
+TEST(ParserTest, TruncatedInputIsError) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("<a></a><b/>").ok());
+  EXPECT_FALSE(ParseXml("plain text").ok());
+}
+
+TEST(ParserTest, UnknownEntityIsError) {
+  EXPECT_FALSE(ParseXml("<a>&nbsp;</a>").ok());
+}
+
+TEST(ParserTest, ErrorsReportLineAndColumn) {
+  auto t = ParseXml("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(WriterTest, RoundTrip) {
+  const char* doc = "<a><b>hello</b><c/><d>x &amp; y</d></a>";
+  auto t = ParseXml(doc);
+  ASSERT_TRUE(t.ok());
+  std::string out = WriteXml(t.value());
+  EXPECT_EQ(out, doc);
+  // Parse the output again: identical structure.
+  auto t2 = ParseXml(out);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(WriteXml(t2.value()), out);
+}
+
+TEST(WriterTest, IndentedOutputReparses) {
+  auto t = ParseXml("<a><b>hello</b><c/></a>");
+  ASSERT_TRUE(t.ok());
+  WriteOptions opts;
+  opts.indent = true;
+  std::string pretty = WriteXml(t.value(), opts);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto t2 = ParseXml(pretty);
+  ASSERT_TRUE(t2.ok()) << t2.status().ToString();
+  EXPECT_EQ(t2.value().CountElements(), 3);
+}
+
+TEST(WriterTest, SubtreeSerialization) {
+  auto t = ParseXml("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(t.ok());
+  NodeId b = t.value().first_child(t.value().root());
+  EXPECT_EQ(WriteXml(t.value(), b), "<b><c/></b>");
+}
+
+TEST(TreeTest, ApproxByteSizeGrowsWithContent) {
+  Tree t1;
+  t1.AddRoot("a");
+  Tree t2;
+  NodeId r = t2.AddRoot("a");
+  for (int i = 0; i < 100; ++i) t2.AddText(t2.AddElement(r, "child"), "text");
+  EXPECT_GT(t2.ApproxByteSize(), t1.ApproxByteSize());
+}
+
+}  // namespace
+}  // namespace smoqe::xml
