@@ -38,7 +38,31 @@ void WriteNode(const Tree& tree, NodeId id, const WriteOptions& opts, int depth,
   *out += '<';
   *out += name;
   *out += '>';
-  if (opts.indent) *out += '\n';
+  if (opts.indent) {
+    // Indenting around a text child would pad its value with whitespace the
+    // parser keeps (the value is no longer whitespace-only), breaking the
+    // write -> re-parse round trip. Write mixed-content elements inline.
+    bool has_text_child = false;
+    for (NodeId c = tree.first_child(id); c != kNullNode;
+         c = tree.next_sibling(c)) {
+      if (!tree.is_element(c)) {
+        has_text_child = true;
+        break;
+      }
+    }
+    if (has_text_child) {
+      const WriteOptions inline_opts;
+      for (NodeId c = tree.first_child(id); c != kNullNode;
+           c = tree.next_sibling(c)) {
+        WriteNode(tree, c, inline_opts, 0, out);
+      }
+      *out += "</";
+      *out += name;
+      *out += ">\n";
+      return;
+    }
+    *out += '\n';
+  }
   for (NodeId c = tree.first_child(id); c != kNullNode; c = tree.next_sibling(c)) {
     WriteNode(tree, c, opts, depth + 1, out);
   }

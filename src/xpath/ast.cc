@@ -11,7 +11,7 @@ FilterPtr MakeFilter(Filter f) { return std::make_shared<const Filter>(std::move
 }  // namespace
 
 PathPtr Eps() {
-  static const PathPtr eps = MakePath({.kind = PathKind::kEmpty});
+  static const PathPtr eps = MakePath(Path{});  // Path defaults to kEmpty
   return eps;
 }
 
@@ -23,7 +23,11 @@ PathPtr Label(std::string name) {
 }
 
 PathPtr Wildcard() {
-  static const PathPtr wc = MakePath({.kind = PathKind::kWildcard});
+  static const PathPtr wc = [] {
+    Path p;
+    p.kind = PathKind::kWildcard;
+    return MakePath(std::move(p));
+  }();
   return wc;
 }
 

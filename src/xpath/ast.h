@@ -46,7 +46,7 @@ enum class FilterKind : uint8_t {
 };
 
 struct Path {
-  PathKind kind;
+  PathKind kind = PathKind::kEmpty;
   std::string label;   // kLabel
   PathPtr left;        // kSeq/kUnion lhs; kStar/kFilter operand
   PathPtr right;       // kSeq/kUnion rhs
@@ -54,7 +54,7 @@ struct Path {
 };
 
 struct Filter {
-  FilterKind kind;
+  FilterKind kind = FilterKind::kPath;
   PathPtr path;        // kPath / kTextEquals
   std::string text;    // kTextEquals
   int position = 0;    // kPositionEquals

@@ -1,0 +1,258 @@
+// End-to-end conformance suite driven by on-disk fixtures (tests/testdata/):
+// the hospital DTD, the research-institute view spec, a handcrafted source
+// document, and query/golden-answer cases.
+//
+// For every case the suite checks the paper's central property
+//     Q(sigma(T)) = Q'(T)
+// three ways, plus a golden pin:
+//   oracle  = NaiveEvaluator(Q) on the materialized view, mapped to source
+//   hype    = HypeEvaluator on the source with the MFA rewriting Q'
+//   direct  = NaiveEvaluator on the source with the explicit Xreg rewriting
+//   golden  = canonical source-node paths recorded in conformance_cases.txt
+//
+// Set SMOQE_REGEN_GOLDEN=1 to print the cases file with regenerated `expect`
+// lines (from the oracle) instead of asserting.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/validator.h"
+#include "eval/naive_evaluator.h"
+#include "hype/hype.h"
+#include "rewrite/direct_rewriter.h"
+#include "rewrite/rewriter.h"
+#include "view/materializer.h"
+#include "view/view_parser.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace smoqe {
+namespace {
+
+std::string ReadFile(const std::string& name) {
+  std::ifstream in(std::string(SMOQE_TESTDATA_DIR) + "/" + name);
+  EXPECT_TRUE(in.is_open()) << "missing testdata file: " << name;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// `/label[k]` per step, k = 1-based position among same-label element
+// siblings; text nodes end in `/text()`. Stable under fixture edits that do
+// not reorder siblings, and human-checkable against hospital.xml.
+std::string CanonicalPath(const xml::Tree& t, xml::NodeId node) {
+  std::string path;
+  while (node != xml::kNullNode) {
+    if (!t.is_element(node)) {
+      path.insert(0, "/text()");
+      node = t.parent(node);
+      continue;
+    }
+    int ordinal = 1;
+    if (t.parent(node) != xml::kNullNode) {
+      for (xml::NodeId s = t.first_child(t.parent(node)); s != node;
+           s = t.next_sibling(s)) {
+        if (t.is_element(s) && t.label(s) == t.label(node)) ++ordinal;
+      }
+    }
+    path.insert(0, "/" + t.label_name(node) + "[" + std::to_string(ordinal) + "]");
+    node = t.parent(node);
+  }
+  return path;
+}
+
+std::vector<std::string> CanonicalPaths(const xml::Tree& t,
+                                        const std::vector<xml::NodeId>& nodes) {
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (xml::NodeId n : nodes) out.push_back(CanonicalPath(t, n));
+  return out;
+}
+
+struct Case {
+  std::string name;
+  std::string query;
+  std::vector<std::string> expect;  // canonical source paths, document order
+};
+
+// Cases file: `case <name>` / `query <text>` / `expect <path>`* / `end`,
+// with `#` comments and blank lines in between.
+std::vector<Case> ParseCases(const std::string& text) {
+  std::vector<Case> cases;
+  std::istringstream in(text);
+  std::string line;
+  Case current;
+  bool open = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto word_end = line.find(' ');
+    std::string word = line.substr(0, word_end);
+    std::string rest =
+        word_end == std::string::npos ? "" : line.substr(word_end + 1);
+    if (word == "case") {
+      EXPECT_FALSE(open) << "unterminated case before " << rest;
+      current = Case{};
+      current.name = rest;
+      open = true;
+    } else if (word == "query") {
+      EXPECT_TRUE(open) << "query outside a case block";
+      current.query = rest;
+    } else if (word == "expect") {
+      EXPECT_TRUE(open) << "expect outside a case block: " << rest;
+      current.expect.push_back(rest);
+    } else if (word == "end") {
+      EXPECT_TRUE(open && !current.query.empty()) << "bad case block";
+      cases.push_back(current);
+      open = false;
+    } else {
+      ADD_FAILURE() << "unknown cases-file directive: " << word;
+    }
+  }
+  EXPECT_FALSE(open) << "unterminated final case";
+  return cases;
+}
+
+// Everything the suite needs, loaded once from testdata.
+class ConformanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fixture_ = new Fixture();
+    auto doc = xml::ParseXml(ReadFile("hospital.xml"));
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    fixture_->source = doc.take();
+    auto dtd = dtd::ParseDtd(ReadFile("hospital.dtd"));
+    ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+    fixture_->dtd = dtd.take();
+    auto def = view::ParseView(ReadFile("research_view.spec"));
+    ASSERT_TRUE(def.ok()) << def.status().ToString();
+    fixture_->view = new view::ViewDef(def.take());
+    auto mat = view::Materialize(*fixture_->view, fixture_->source);
+    ASSERT_TRUE(mat.ok()) << mat.status().ToString();
+    fixture_->mat = mat.take();
+    fixture_->cases = ParseCases(ReadFile("conformance_cases.txt"));
+  }
+  void SetUp() override {
+    // A fatal failure in SetUpTestSuite leaves the fixture half-built; fail
+    // each test cleanly instead of dereferencing nullptr.
+    ASSERT_NE(fixture_, nullptr) << "testdata fixtures failed to load";
+    ASSERT_NE(fixture_->view, nullptr) << "testdata fixtures failed to load";
+  }
+
+  static void TearDownTestSuite() {
+    delete fixture_->view;
+    delete fixture_;
+    fixture_ = nullptr;
+  }
+
+  struct Fixture {
+    xml::Tree source;
+    dtd::Dtd dtd;
+    view::ViewDef* view = nullptr;  // ViewDef has no default constructor
+    view::MaterializedView mat;
+    std::vector<Case> cases;
+  };
+  static Fixture* fixture_;
+};
+
+ConformanceTest::Fixture* ConformanceTest::fixture_ = nullptr;
+
+TEST_F(ConformanceTest, SourceDocumentValidatesAgainstDtd) {
+  Status st = dtd::ValidateDocument(fixture_->dtd, fixture_->source);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(ConformanceTest, ViewSpecEmbedsTheSameSourceDtd) {
+  // The spec embeds its own copy of the source DTD; both must accept the
+  // fixture document, so the two files cannot drift apart silently.
+  Status st =
+      dtd::ValidateDocument(fixture_->view->source_dtd(), fixture_->source);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(fixture_->view->Validate().ok());
+}
+
+TEST_F(ConformanceTest, MaterializedViewValidatesAgainstViewDtd) {
+  Status st =
+      dtd::ValidateDocument(fixture_->view->view_dtd(), fixture_->mat.tree);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  // Provenance: every element of the view is a copy of a source element.
+  const xml::Tree& vt = fixture_->mat.tree;
+  ASSERT_EQ(static_cast<int32_t>(fixture_->mat.binding.size()), vt.size());
+  for (xml::NodeId n = 0; n < vt.size(); ++n) {
+    if (!vt.is_element(n)) continue;
+    xml::NodeId s = fixture_->mat.binding[n];
+    ASSERT_NE(s, xml::kNullNode) << CanonicalPath(vt, n);
+    EXPECT_TRUE(fixture_->source.is_element(s));
+  }
+}
+
+TEST_F(ConformanceTest, ViewRoundTripsThroughWriter) {
+  // The materialized view (which contains #empty elements) survives
+  // serialize -> re-parse, `record/empty` text-less elements included.
+  auto reparsed = xml::ParseXml(xml::WriteXml(fixture_->mat.tree));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().size(), fixture_->mat.tree.size());
+  EXPECT_EQ(xml::WriteXml(reparsed.value()), xml::WriteXml(fixture_->mat.tree));
+}
+
+TEST_F(ConformanceTest, PositionQueriesAreRejectedByRewriting) {
+  // position() on the view has no source-stable meaning (view positions do
+  // not correspond to source positions); the rewriter must say so cleanly
+  // rather than produce wrong answers.
+  auto query = xpath::ParseQuery("patient[position() = 1]");
+  ASSERT_TRUE(query.ok());
+  auto mfa = rewrite::RewriteToMfa(query.value(), *fixture_->view);
+  EXPECT_FALSE(mfa.ok());
+  auto direct = rewrite::DirectRewrite(query.value(), *fixture_->view);
+  EXPECT_FALSE(direct.ok());
+}
+
+TEST_F(ConformanceTest, RewrittenAnswersMatchViewAnswersAndGoldens) {
+  ASSERT_FALSE(fixture_->cases.empty());
+  const bool regen = std::getenv("SMOQE_REGEN_GOLDEN") != nullptr;
+  const xml::Tree& source = fixture_->source;
+  eval::NaiveEvaluator on_view(fixture_->mat.tree);
+  eval::NaiveEvaluator on_source(source);
+  for (const Case& c : fixture_->cases) {
+    SCOPED_TRACE(c.name);
+    auto query = xpath::ParseQuery(c.query);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+    // Oracle: evaluate on the materialized view, map through provenance.
+    std::vector<xml::NodeId> oracle = view::MapToSource(
+        fixture_->mat, on_view.Eval(query.value(), fixture_->mat.tree.root()));
+
+    if (regen) {
+      printf("case %s\nquery %s\n", c.name.c_str(), c.query.c_str());
+      for (const std::string& p : CanonicalPaths(source, oracle))
+        printf("expect %s\n", p.c_str());
+      printf("end\n\n");
+      continue;
+    }
+
+    // The paper's property, via the MFA rewriting evaluated by HyPE.
+    auto mfa = rewrite::RewriteToMfa(query.value(), *fixture_->view);
+    ASSERT_TRUE(mfa.ok()) << mfa.status().ToString();
+    hype::HypeEvaluator hype_eval(source, mfa.value());
+    EXPECT_EQ(hype_eval.Eval(source.root()), oracle);
+
+    // Same property via the explicit Xreg rewriting (Theorem 3.2).
+    auto direct = rewrite::DirectRewrite(query.value(), *fixture_->view);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    EXPECT_EQ(on_source.Eval(direct.value(), source.root()), oracle)
+        << "direct rewriting: " << xpath::ToString(direct.value());
+
+    // Golden pin: canonical source paths recorded in the cases file.
+    EXPECT_EQ(CanonicalPaths(source, oracle), c.expect);
+  }
+}
+
+}  // namespace
+}  // namespace smoqe

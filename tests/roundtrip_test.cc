@@ -1,0 +1,167 @@
+// Round-trip coverage for the two serializers that previously had no tests:
+//   xml::WriteXml     (xml/writer.cc)  — write -> re-parse equals the tree
+//   xpath::ToString   (xpath/printer.cc) — print -> re-parse equals the AST
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/fixtures.h"
+#include "gen/hospital_generator.h"
+#include "xml/parser.h"
+#include "xml/tree.h"
+#include "xml/writer.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace smoqe {
+namespace {
+
+// Structural equality of trees: same shape, labels, and text in document
+// order. Walks child lists in parallel from the roots — NodeIds need not
+// match (generators may append out of DFS order, the parser never does).
+void ExpectSameSubtree(const xml::Tree& a, xml::NodeId an, const xml::Tree& b,
+                       xml::NodeId bn) {
+  ASSERT_EQ(a.kind(an), b.kind(bn));
+  if (a.is_element(an)) {
+    ASSERT_EQ(a.label_name(an), b.label_name(bn));
+  } else {
+    ASSERT_EQ(a.text_value(an), b.text_value(bn));
+    return;
+  }
+  xml::NodeId ac = a.first_child(an);
+  xml::NodeId bc = b.first_child(bn);
+  while (ac != xml::kNullNode && bc != xml::kNullNode) {
+    ExpectSameSubtree(a, ac, b, bc);
+    ac = a.next_sibling(ac);
+    bc = b.next_sibling(bc);
+  }
+  ASSERT_EQ(ac, xml::kNullNode) << "extra child under " << a.label_name(an);
+  ASSERT_EQ(bc, xml::kNullNode) << "missing child under " << a.label_name(an);
+}
+
+void ExpectSameTree(const xml::Tree& a, const xml::Tree& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.CountElements(), b.CountElements());
+  ExpectSameSubtree(a, a.root(), b, b.root());
+}
+
+TEST(XmlWriterRoundTripTest, HandBuiltTree) {
+  xml::Tree t;
+  xml::NodeId root = t.AddRoot("a");
+  xml::NodeId b = t.AddElement(root, "b");
+  t.AddText(b, "hello");
+  xml::NodeId c = t.AddElement(root, "c");
+  t.AddElement(c, "d");
+  t.AddText(c, "world");
+  auto reparsed = xml::ParseXml(xml::WriteXml(t));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ExpectSameTree(t, reparsed.value());
+}
+
+TEST(XmlWriterRoundTripTest, EscapesSpecialCharacters) {
+  xml::Tree t;
+  xml::NodeId root = t.AddRoot("q");
+  t.AddText(root, "a < b && 'c' > \"d\"");
+  std::string text = xml::WriteXml(t);
+  auto reparsed = xml::ParseXml(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString() << "\n" << text;
+  ExpectSameTree(t, reparsed.value());
+}
+
+TEST(XmlWriterRoundTripTest, EmptyElementsSurvive) {
+  auto parsed = xml::ParseXml("<a><b/><c></c><b/></a>");
+  ASSERT_TRUE(parsed.ok());
+  auto reparsed = xml::ParseXml(xml::WriteXml(parsed.value()));
+  ASSERT_TRUE(reparsed.ok());
+  ExpectSameTree(parsed.value(), reparsed.value());
+}
+
+TEST(XmlWriterRoundTripTest, IndentedOutputParsesBackEqual) {
+  // Pretty-printing inserts whitespace-only text, which the parser drops;
+  // the reparse must equal the original tree, not gain nodes.
+  gen::HospitalParams params;
+  params.patients = 8;
+  params.seed = 7;
+  xml::Tree t = gen::GenerateHospital(params);
+  xml::WriteOptions indent;
+  indent.indent = true;
+  auto reparsed = xml::ParseXml(xml::WriteXml(t, indent));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ExpectSameTree(t, reparsed.value());
+}
+
+TEST(XmlWriterRoundTripTest, GeneratedHospitalDocument) {
+  gen::HospitalParams params;
+  params.patients = 25;
+  params.seed = 3;
+  params.heart_disease_prob = 0.4;
+  xml::Tree t = gen::GenerateHospital(params);
+  auto reparsed = xml::ParseXml(xml::WriteXml(t));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ExpectSameTree(t, reparsed.value());
+  // Write is deterministic: a second trip produces identical text.
+  EXPECT_EQ(xml::WriteXml(t), xml::WriteXml(reparsed.value()));
+}
+
+TEST(XmlWriterRoundTripTest, SubtreeSerialization) {
+  auto parsed = xml::ParseXml("<a><b><c>x</c></b><d/></a>");
+  ASSERT_TRUE(parsed.ok());
+  const xml::Tree& t = parsed.value();
+  xml::NodeId b = t.first_child(t.root());
+  EXPECT_EQ(xml::WriteXml(t, b), "<b><c>x</c></b>");
+}
+
+class PrinterRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrinterRoundTripTest, PrintReparseEqualsOriginalAst) {
+  auto q = xpath::ParseQuery(GetParam());
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::string printed = xpath::ToString(q.value());
+  auto reparsed = xpath::ParseQuery(printed);
+  ASSERT_TRUE(reparsed.ok())
+      << "printed form does not re-parse: " << printed << "\n"
+      << reparsed.status().ToString();
+  EXPECT_TRUE(xpath::Equals(q.value(), reparsed.value()))
+      << GetParam() << "\n -> " << printed << "\n -> "
+      << xpath::ToString(reparsed.value());
+  // Printing is a fixpoint after one trip (canonical form).
+  EXPECT_EQ(printed, xpath::ToString(reparsed.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, PrinterRoundTripTest,
+    ::testing::Values(
+        ".", "*", "patient", "a/b/c", "a//b", "//a", "a | b | c",
+        "(a/b)*", "(a | b)*/c", "a[b]", "a[not(b)]",
+        "a[b and c or not(d)]", "a[text() = 'x']",
+        "a[b/text() = \"it's\"]", "a[position() = 3]",
+        "a[b][c]/d[e/f]", "(a/(b | c)*/d)[e]",
+        "patient[*//record/diagnosis/text() = 'heart disease']",
+        "(patient/parent)*/patient[(parent/patient)*/record/diagnosis[text() = 'heart disease']]",
+        "department/patient[visit/treatment/medication/diagnosis/text() = 'heart disease']"));
+
+TEST(PrinterRoundTripTest, FixtureQueriesRoundTrip) {
+  for (const char* q : {gen::kQueryExample11, gen::kQueryExample21,
+                        gen::kQueryExample41, gen::kQueryExample31Rewritten}) {
+    auto parsed = xpath::ParseQuery(q);
+    ASSERT_TRUE(parsed.ok()) << q;
+    auto reparsed = xpath::ParseQuery(xpath::ToString(parsed.value()));
+    ASSERT_TRUE(reparsed.ok()) << xpath::ToString(parsed.value());
+    EXPECT_TRUE(xpath::Equals(parsed.value(), reparsed.value())) << q;
+  }
+}
+
+TEST(PrinterRoundTripTest, FilterPrinting)
+{
+  auto f = xpath::ParseFilterExpr("a/b and not(c or text() = 'v')");
+  ASSERT_TRUE(f.ok());
+  auto reparsed = xpath::ParseFilterExpr(xpath::ToString(f.value()));
+  ASSERT_TRUE(reparsed.ok()) << xpath::ToString(f.value());
+  EXPECT_TRUE(xpath::Equals(f.value(), reparsed.value()));
+}
+
+}  // namespace
+}  // namespace smoqe
