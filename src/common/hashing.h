@@ -1,0 +1,47 @@
+// Shared hashing helpers for the unordered_map memo tables used across the
+// rewriters, the HyPE configuration store, and the rewrite cache.
+//
+// Standard containers keyed by pairs/tuples need an explicit hasher; these
+// fold the element-wise std::hash values with the Fibonacci/golden-ratio
+// mixing step (the same combiner the HyPE config interner always used).
+
+#ifndef SMOQE_COMMON_HASHING_H_
+#define SMOQE_COMMON_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <utility>
+
+namespace smoqe {
+
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    uint64_t h = std::hash<A>{}(p.first);
+    return static_cast<size_t>(HashCombine(h, std::hash<B>{}(p.second)));
+  }
+};
+
+struct TupleHash {
+  template <typename... Ts>
+  size_t operator()(const std::tuple<Ts...>& t) const {
+    uint64_t h = 0x517cc1b727220a95ULL;
+    std::apply(
+        [&h](const Ts&... vs) {
+          ((h = HashCombine(h, std::hash<Ts>{}(vs))), ...);
+        },
+        t);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace smoqe
+
+#endif  // SMOQE_COMMON_HASHING_H_

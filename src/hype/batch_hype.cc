@@ -1,0 +1,191 @@
+#include "hype/batch_hype.h"
+
+#include "common/hashing.h"
+
+namespace smoqe::hype {
+
+BatchHypeEvaluator::BatchHypeEvaluator(const xml::Tree& tree,
+                                       std::vector<const automata::Mfa*> mfas,
+                                       BatchHypeOptions options)
+    : tree_(tree), options_(options) {
+  engines_.reserve(mfas.size());
+  HypeOptions engine_options;
+  engine_options.index = options_.index;
+  for (const automata::Mfa* mfa : mfas) {
+    engines_.push_back(std::make_unique<HypeEngine>(tree, *mfa, engine_options));
+  }
+}
+
+int32_t BatchHypeEvaluator::InternState(std::vector<Member> members) {
+  uint64_t h = members.size();
+  for (const Member& m : members) {
+    h = HashCombine(h, m.engine);
+    h = HashCombine(h, static_cast<uint64_t>(m.config));
+    h = HashCombine(h, m.framed ? 1u : 0u);
+  }
+  std::vector<int32_t>& bucket = state_buckets_[h];
+  auto equal = [](const std::vector<Member>& a, const std::vector<Member>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].engine != b[i].engine || a[i].config != b[i].config ||
+          a[i].framed != b[i].framed) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (int32_t id : bucket) {
+    if (equal(states_[id]->members, members)) return id;
+  }
+  auto state = std::make_unique<JointState>();
+  for (const Member& m : members) {
+    if (m.framed) {
+      state->framed.push_back(m.engine);
+    } else if (engines_[m.engine]->ConfigHasFinal(m.config)) {
+      state->frameless_finals.push_back(m.engine);
+    }
+  }
+  state->members = std::move(members);
+  int32_t id = static_cast<int32_t>(states_.size());
+  states_.push_back(std::move(state));
+  bucket.push_back(id);
+  return id;
+}
+
+int32_t BatchHypeEvaluator::ComputeEdge(int32_t state, LabelId label,
+                                        int32_t eff_set) {
+  JointEdge edge;
+  std::vector<Member> child_members;
+  for (const Member& m : states_[state]->members) {
+    HypeEngine& engine = *engines_[m.engine];
+    SuccRef succ = engine.PeekTransition(m.config, label, eff_set);
+    if (engine.ConfigDead(succ.config)) continue;  // this engine prunes
+    bool framed = m.framed || !engine.ConfigSimple(succ.config);
+    child_members.push_back({m.engine, succ.config, framed});
+    if (framed) {
+      if (m.framed) {
+        edge.descend.push_back({m.engine, succ});
+      } else {
+        edge.begin.push_back({m.engine, succ.config});
+      }
+    }
+  }
+  if (!child_members.empty()) edge.next = InternState(std::move(child_members));
+  edges_.push_back(std::move(edge));
+  return static_cast<int32_t>(edges_.size()) - 1;
+}
+
+int32_t BatchHypeEvaluator::EdgeFor(int32_t state, LabelId label,
+                                    int32_t eff_set) {
+  JointState& st = *states_[state];
+  if (options_.index == nullptr) {
+    if (st.edges.empty()) st.edges.assign(tree_.labels().size(), -1);
+    int32_t& slot = st.edges[label];
+    if (slot < 0) slot = ComputeEdge(state, label, eff_set);
+    return slot;
+  }
+  if (st.edges_by_eff.empty()) st.edges_by_eff.resize(tree_.labels().size());
+  std::vector<std::pair<int32_t, int32_t>>& slots = st.edges_by_eff[label];
+  for (const auto& [eff, edge] : slots) {
+    if (eff == eff_set) return edge;
+  }
+  int32_t edge = ComputeEdge(state, label, eff_set);
+  // `st` stays valid: JointState objects are heap-stable (unique_ptr).
+  slots.emplace_back(eff_set, edge);
+  return edge;
+}
+
+void BatchHypeEvaluator::RunJointPass(xml::NodeId context, int32_t root_state) {
+  const SubtreeLabelIndex* index = options_.index;
+  int32_t root_eff =
+      index != nullptr ? index->SetForContext(tree_, context) : 0;
+
+  auto enter = [&](JointState& st, int32_t id, xml::NodeId node) {
+    if (st.visits++ == 0) touched_states_.push_back(id);
+    ++pass_stats_.nodes_walked;
+    for (uint32_t e : st.frameless_finals) engines_[e]->EmitAnswer(node);
+  };
+
+  {
+    JointState& root = *states_[root_state];
+    for (const Member& m : root.members) {
+      if (m.framed) engines_[m.engine]->BeginFrames(m.config);
+    }
+    enter(root, root_state, context);
+  }
+  std::vector<WalkFrame>& stack = walk_stack_;
+  stack.clear();
+  stack.push_back({context, tree_.first_child(context), root_eff, root_state,
+                   states_[root_state].get()});
+
+  while (!stack.empty()) {
+    WalkFrame& top = stack.back();
+
+    xml::NodeId c = top.next_child;
+    while (c != xml::kNullNode && !tree_.is_element(c)) {
+      c = tree_.next_sibling(c);
+    }
+    if (c == xml::kNullNode) {
+      for (uint32_t e : top.st->framed) {
+        engines_[e]->ExitNode(top.node);
+      }
+      stack.pop_back();
+      continue;
+    }
+    top.next_child = tree_.next_sibling(c);
+
+    // Decode the child and resolve its subtree label set once; advance the
+    // whole batch with one joint-table lookup.
+    LabelId cl = tree_.label(c);
+    int32_t eff_c =
+        index != nullptr ? index->EffectiveSet(c, top.eff_set) : top.eff_set;
+    const int32_t eid = EdgeFor(top.joint, cl, eff_c);
+    const JointEdge& edge = edges_[eid];
+    if (edge.next < 0) {
+      ++pass_stats_.subtrees_skipped;  // every engine pruned this subtree
+      continue;
+    }
+    for (const auto& [e, succ] : edge.descend) engines_[e]->DescendWith(succ);
+    for (const auto& [e, cfg] : edge.begin) engines_[e]->BeginFrames(cfg);
+    JointState* next_st = states_[edge.next].get();
+    enter(*next_st, edge.next, c);
+    stack.push_back({c, tree_.first_child(c), eff_c, edge.next, next_st});
+  }
+}
+
+std::vector<std::vector<xml::NodeId>> BatchHypeEvaluator::EvalAll(
+    xml::NodeId context) {
+  pass_stats_ = SharedPassStats{};
+
+  std::vector<Member> root_members;
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    int32_t config = engines_[i]->PrepareRoot(context);
+    if (config < 0) continue;  // dead at the context: no answers
+    root_members.push_back({static_cast<uint32_t>(i), config,
+                            !engines_[i]->ConfigSimple(config)});
+  }
+  if (!root_members.empty()) {
+    RunJointPass(context, InternState(std::move(root_members)));
+  }
+
+  // Frameless engines never touched their per-node counters; recover their
+  // visit totals from the joint states entered by this pass (a frameless
+  // member of a state was live at every node the state was entered at).
+  for (int32_t id : touched_states_) {
+    JointState& st = *states_[id];
+    for (const Member& m : st.members) {
+      if (!m.framed) engines_[m.engine]->AddVisited(st.visits);
+    }
+    st.visits = 0;
+  }
+  touched_states_.clear();
+
+  std::vector<std::vector<xml::NodeId>> answers;
+  answers.reserve(engines_.size());
+  for (const std::unique_ptr<HypeEngine>& e : engines_) {
+    answers.push_back(e->TakeAnswers());
+  }
+  return answers;
+}
+
+}  // namespace smoqe::hype

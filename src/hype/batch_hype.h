@@ -1,0 +1,133 @@
+// Batched multi-query HyPE: evaluate N MFAs over one tree in a SINGLE shared
+// depth-first pass.
+//
+// A view server answering many queries against the same materialized view
+// pays one full HyPE pass per query; the traversal (node decoding, child
+// iteration, subtree-label-index lookups) is repeated N times even though it
+// is query-independent. BatchHypeEvaluator keeps one HypeEngine per query
+// and walks the tree once for all of them.
+//
+// The sharing goes beyond the walk: the driver interns the TUPLE of
+// per-engine configurations occupied at a node -- a joint state -- and
+// memoizes joint transitions per (joint state, label[, subtree label set]),
+// the determinization idea HyPE already applies per query (Green et al.),
+// lifted across the batch. One table lookup then advances every query at
+// once and tells the driver:
+//   - whether EVERY engine prunes the child (skip the whole subtree);
+//   - which engines descend with frames (filters pending / inside a cans
+//     region): they run their normal per-node prologue/epilogue;
+//   - which engines are in a "simple" state (no AFA requests, nothing
+//     annotated): they ride the joint table framelessly with NO per-node
+//     work -- their answers (final states) and visit statistics are
+//     recovered from the joint states themselves.
+//
+// Per-query answers and statistics are identical to running HypeEvaluator
+// separately by construction; the randomized equivalence suite
+// (tests/batch_hype_test.cc) enforces this across batch sizes and index
+// modes.
+//
+// The evaluator is reusable: repeated EvalAll calls keep the joint tables
+// and each engine's configuration store warm.
+
+#ifndef SMOQE_HYPE_BATCH_HYPE_H_
+#define SMOQE_HYPE_BATCH_HYPE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/mfa.h"
+#include "hype/engine.h"
+#include "hype/index.h"
+#include "xml/tree.h"
+
+namespace smoqe::hype {
+
+struct BatchHypeOptions {
+  /// When set, enables index-based pruning for every query in the batch; the
+  /// index lookup per node is shared across queries. Must have been built
+  /// for the same tree.
+  const SubtreeLabelIndex* index = nullptr;
+};
+
+class BatchHypeEvaluator {
+ public:
+  /// The MFAs must outlive the evaluator. They may repeat (each slot still
+  /// gets its own engine).
+  BatchHypeEvaluator(const xml::Tree& tree,
+                     std::vector<const automata::Mfa*> mfas,
+                     BatchHypeOptions options = {});
+
+  /// Evaluates every MFA at `context` in one shared pass; result i is the
+  /// sorted answer set of mfas[i] (== HypeEvaluator(tree, *mfas[i]).Eval).
+  std::vector<std::vector<xml::NodeId>> EvalAll(xml::NodeId context);
+
+  size_t batch_size() const { return engines_.size(); }
+
+  /// Per-query statistics of the last EvalAll (identical to what the solo
+  /// evaluator would report).
+  const EvalStats& stats(size_t i) const { return engines_[i]->stats(); }
+
+  /// Shared-walk statistics of the last EvalAll. nodes_walked counts element
+  /// nodes entered once by the shared pass -- the per-query passes would
+  /// have entered sum_i stats(i).elements_visited nodes in total.
+  const SharedPassStats& pass_stats() const { return pass_stats_; }
+
+  /// Joint states interned so far (sharing diagnostics).
+  size_t num_joint_states() const { return states_.size(); }
+
+ private:
+  using SuccRef = HypeEngine::SuccRef;
+
+  struct Member {
+    uint32_t engine;
+    int32_t config;
+    bool framed;  // monotone along a path: set at the first non-simple config
+  };
+  // A memoized joint transition: what every engine does on this label move.
+  struct JointEdge {
+    int32_t next = -1;  // target joint state; -1 = every engine prunes
+    std::vector<std::pair<uint32_t, SuccRef>> descend;  // framed at parent
+    std::vector<std::pair<uint32_t, int32_t>> begin;    // newly framed
+  };
+  struct JointState {
+    std::vector<Member> members;
+    std::vector<uint32_t> framed;            // engines to ExitNode at pop
+    std::vector<uint32_t> frameless_finals;  // engines emitting `node` direct
+    int64_t visits = 0;                      // this pass; distributed after
+    // Joint transition memo, mirroring the per-engine tables: one slot per
+    // tree label, or per (label, subtree-label-set) with an index.
+    std::vector<int32_t> edges;
+    std::vector<std::vector<std::pair<int32_t, int32_t>>> edges_by_eff;
+  };
+
+  struct WalkFrame {
+    xml::NodeId node;
+    xml::NodeId next_child;
+    int32_t eff_set;
+    int32_t joint;
+    JointState* st;  // states_[joint], cached for the per-child hot path
+  };
+
+  int32_t InternState(std::vector<Member> members);
+  int32_t EdgeFor(int32_t state, LabelId label, int32_t eff_set);
+  int32_t ComputeEdge(int32_t state, LabelId label, int32_t eff_set);
+  void RunJointPass(xml::NodeId context, int32_t root_state);
+
+  const xml::Tree& tree_;
+  BatchHypeOptions options_;
+  std::vector<std::unique_ptr<HypeEngine>> engines_;
+  SharedPassStats pass_stats_;
+
+  std::vector<std::unique_ptr<JointState>> states_;
+  std::unordered_map<uint64_t, std::vector<int32_t>> state_buckets_;
+  std::vector<JointEdge> edges_;
+  std::vector<WalkFrame> walk_stack_;      // reused across EvalAll calls
+  std::vector<int32_t> touched_states_;    // states entered by the current pass
+};
+
+}  // namespace smoqe::hype
+
+#endif  // SMOQE_HYPE_BATCH_HYPE_H_

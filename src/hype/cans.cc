@@ -6,28 +6,62 @@ namespace smoqe::hype {
 
 std::vector<xml::NodeId> CansGraph::CollectAnswers() const {
   std::vector<xml::NodeId> answers;
-  std::vector<bool> seen(vertices_.size(), false);
-  std::vector<VertexId> work;
-  for (VertexId v = 0; v < static_cast<VertexId>(vertices_.size()); ++v) {
-    if (vertices_[v].initial && vertices_[v].alive) {
-      seen[v] = true;
-      work.push_back(v);
+
+  if (num_deleted_ == 0) {
+    // Every vertex was created by an actual run prefix and nothing was
+    // disconnected: all recorded answers stand, no reachability needed.
+    answers.reserve(answer_vertices_.size());
+    for (VertexId v : answer_vertices_) answers.push_back(vertices_[v].answer);
+  } else if (!answer_vertices_.empty()) {
+    // Answer-driven reachability, O(|backward cone of the answers|) rather
+    // than O(|graph|): mark every alive vertex that can reach an answer
+    // (reverse walk), then forward-walk from the alive initial vertices
+    // expanding only inside that cone.
+    if (cone_.size() < vertices_.size()) cone_.resize(vertices_.size(), 0);
+    if (seen_.size() < vertices_.size()) seen_.resize(vertices_.size(), 0);
+    int64_t epoch = ++seen_epoch_;
+
+    work_.clear();
+    for (VertexId v : answer_vertices_) {
+      // Answer vertices are never deleted (deletion and answer marking both
+      // happen at the vertex's own node pop, deletions first).
+      cone_[v] = epoch;
+      work_.push_back(v);
     }
-  }
-  while (!work.empty()) {
-    VertexId v = work.back();
-    work.pop_back();
-    if (vertices_[v].answer != xml::kNullNode) {
-      answers.push_back(vertices_[v].answer);
+    while (!work_.empty()) {
+      VertexId v = work_.back();
+      work_.pop_back();
+      for (int32_t e = vertices_[v].first_redge; e != -1; e = edges_[e].rnext) {
+        VertexId from = edges_[e].from;
+        if (cone_[from] != epoch && vertices_[from].alive) {
+          cone_[from] = epoch;
+          work_.push_back(from);
+        }
+      }
     }
-    for (int32_t e = vertices_[v].first_edge; e != -1; e = edges_[e].next) {
-      VertexId to = edges_[e].to;
-      if (!seen[to] && vertices_[to].alive) {
-        seen[to] = true;
-        work.push_back(to);
+
+    for (VertexId v : initials_) {
+      if (vertices_[v].alive && cone_[v] == epoch && seen_[v] != epoch) {
+        seen_[v] = epoch;
+        work_.push_back(v);
+      }
+    }
+    while (!work_.empty()) {
+      VertexId v = work_.back();
+      work_.pop_back();
+      if (vertices_[v].answer != xml::kNullNode) {
+        answers.push_back(vertices_[v].answer);
+      }
+      for (int32_t e = vertices_[v].first_edge; e != -1; e = edges_[e].next) {
+        VertexId to = edges_[e].to;
+        if (seen_[to] != epoch && cone_[to] == epoch && vertices_[to].alive) {
+          seen_[to] = epoch;
+          work_.push_back(to);
+        }
       }
     }
   }
+
   std::sort(answers.begin(), answers.end());
   answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
   return answers;

@@ -7,6 +7,12 @@
 // disconnecting every candidate answer that depended on the failed filter.
 // Phase two is a single traversal from the initial vertices: answers are the
 // ν-annotations of reachable, surviving final-state vertices.
+//
+// Phase two is answer-driven: initial and answer vertices are recorded as
+// they appear, so a run without deletions skips the reachability walk
+// entirely (every recorded vertex is reachable by construction -- it was
+// created by an actual run prefix), and a run with deletions walks with
+// reusable epoch-marked scratch instead of per-call allocations.
 
 #ifndef SMOQE_HYPE_CANS_H_
 #define SMOQE_HYPE_CANS_H_
@@ -23,24 +29,69 @@ class CansGraph {
  public:
   using VertexId = int32_t;
 
+  /// Clears the graph for a fresh run, keeping the allocated capacity (the
+  /// evaluators reuse one graph across Eval calls).
+  void Reset() {
+    vertices_.clear();
+    edges_.clear();
+    initials_.clear();
+    answer_vertices_.clear();
+    num_deleted_ = 0;
+  }
+
   VertexId AddVertex(bool initial) {
-    vertices_.push_back({xml::kNullNode, -1, initial, true});
-    return static_cast<VertexId>(vertices_.size() - 1);
+    VertexId id = static_cast<VertexId>(vertices_.size());
+    vertices_.push_back({xml::kNullNode, -1, -1, initial, true});
+    if (initial) initials_.push_back(id);
+    return id;
+  }
+
+  /// Bulk-creates `n` non-initial vertices with contiguous ids; returns the
+  /// first id. One node's vertices being contiguous lets the evaluator keep
+  /// a (base, count) pair per frame instead of a vector.
+  VertexId AddVertexRange(int32_t n) {
+    VertexId base = static_cast<VertexId>(vertices_.size());
+    vertices_.resize(vertices_.size() + n,
+                     Vertex{xml::kNullNode, -1, -1, false, true});
+    return base;
+  }
+
+  void MarkInitial(VertexId v) {
+    if (!vertices_[v].initial) {
+      vertices_[v].initial = true;
+      initials_.push_back(v);
+    }
   }
 
   void AddEdge(VertexId from, VertexId to) {
-    edges_.push_back({to, vertices_[from].first_edge});
+    edges_.push_back({to, from, vertices_[from].first_edge,
+                      vertices_[to].first_redge});
     vertices_[from].first_edge = static_cast<int32_t>(edges_.size() - 1);
+    vertices_[to].first_redge = static_cast<int32_t>(edges_.size() - 1);
   }
 
   /// Removes the vertex (its AFA failed): phase two will not pass through it.
-  void DeleteVertex(VertexId v) { vertices_[v].alive = false; }
+  void DeleteVertex(VertexId v) {
+    if (vertices_[v].alive) {
+      vertices_[v].alive = false;
+      ++num_deleted_;
+    }
+  }
 
   /// ν(v) := n -- the vertex corresponds to a final state reached at n.
-  void SetAnswer(VertexId v, xml::NodeId n) { vertices_[v].answer = n; }
+  void SetAnswer(VertexId v, xml::NodeId n) {
+    vertices_[v].answer = n;
+    answer_vertices_.push_back(v);
+  }
 
   /// Phase two: one traversal from the alive initial vertices; returns the
   /// sorted, deduplicated answers.
+  ///
+  /// Contract: the builder must only record answers on vertices that are
+  /// reachable from the initial vertices in the DELETION-FREE graph (true
+  /// for HyPE by construction: every vertex is created by an actual run
+  /// prefix). When no vertex was deleted, that reachability is assumed, not
+  /// re-checked -- a disconnected answer vertex would be reported.
   std::vector<xml::NodeId> CollectAnswers() const;
 
   int64_t num_vertices() const { return static_cast<int64_t>(vertices_.size()); }
@@ -50,15 +101,29 @@ class CansGraph {
   struct Vertex {
     xml::NodeId answer;
     int32_t first_edge;
+    int32_t first_redge;
     bool initial;
     bool alive;
   };
   struct Edge {
     VertexId to;
+    VertexId from;
     int32_t next;
+    int32_t rnext;
   };
   std::vector<Vertex> vertices_;
   std::vector<Edge> edges_;
+  std::vector<VertexId> initials_;
+  std::vector<VertexId> answer_vertices_;
+  int64_t num_deleted_ = 0;
+
+  // Reusable phase-two scratch (epoch-marked visited arrays: cone_ for the
+  // backward cone of the answer vertices, seen_ for the forward walk).
+  // 64-bit epochs: wraparound would silently alias stale marks.
+  mutable std::vector<int64_t> cone_;
+  mutable std::vector<int64_t> seen_;
+  mutable int64_t seen_epoch_ = 0;
+  mutable std::vector<VertexId> work_;
 };
 
 }  // namespace smoqe::hype

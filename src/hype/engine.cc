@@ -1,0 +1,786 @@
+#include "hype/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hashing.h"
+
+namespace smoqe::hype {
+
+using automata::AfaKind;
+using automata::AfaState;
+using automata::kNoState;
+using automata::Mfa;
+using automata::NfaTransition;
+
+namespace {
+
+// Index of `id` in the sorted vector, or -1.
+int IndexOf(const std::vector<automata::StateId>& sorted, automata::StateId id) {
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), id);
+  if (it == sorted.end() || *it != id) return -1;
+  return static_cast<int>(it - sorted.begin());
+}
+
+}  // namespace
+
+HypeEngine::HypeEngine(const xml::Tree& tree, const Mfa& mfa,
+                       HypeOptions options)
+    : tree_(tree), mfa_(mfa), options_(options) {
+  binding_.resize(mfa_.labels.size());
+  for (LabelId l = 0; l < mfa_.labels.size(); ++l) {
+    binding_[l] = tree_.labels().Lookup(mfa_.labels.name(l));
+  }
+  stats_.elements_total = tree_.CountElements();
+  nfa_mark_.assign(mfa_.nfa.size(), 0);
+  nfa_mark2_.assign(mfa_.nfa.size(), 0);
+  afa_mark_.assign(mfa_.afa.size(), 0);
+}
+
+HypeEngine::Frame& HypeEngine::GrowFrames(int depth) {
+  while (static_cast<int>(frames_.size()) <= depth) {
+    frames_.push_back(std::make_unique<Frame>());
+  }
+  return *frames_[depth];
+}
+
+// After index-based filtering, drop every state that is no longer
+// ε-reachable from a surviving seed: pruning may remove an annotated guard
+// whose CanBeTrue is false, and states hiding behind it must disappear with
+// it (otherwise they would look unguarded outside a cans region).
+void HypeEngine::RestrictToSeedReachable(std::vector<StateId>* mstates,
+                                         std::vector<char>* seeds) {
+  int64_t member = ++nfa_epoch_;
+  for (StateId s : *mstates) nfa_mark_[s] = member;
+  int64_t reach = ++nfa_epoch2_;
+  reach_work_.clear();
+  for (size_t i = 0; i < mstates->size(); ++i) {
+    if ((*seeds)[i]) {
+      nfa_mark2_[(*mstates)[i]] = reach;
+      reach_work_.push_back((*mstates)[i]);
+    }
+  }
+  for (size_t i = 0; i < reach_work_.size(); ++i) {
+    for (StateId e : mfa_.nfa[reach_work_[i]].eps) {
+      if (nfa_mark_[e] == member && nfa_mark2_[e] != reach) {
+        nfa_mark2_[e] = reach;
+        reach_work_.push_back(e);
+      }
+    }
+  }
+  size_t w = 0;
+  for (size_t i = 0; i < mstates->size(); ++i) {
+    if (nfa_mark2_[(*mstates)[i]] == reach) {
+      (*mstates)[w] = (*mstates)[i];
+      (*seeds)[w] = (*seeds)[i];
+      ++w;
+    }
+  }
+  mstates->resize(w);
+  seeds->resize(w);
+}
+
+const HypeEngine::Productive& HypeEngine::ProductiveFor(int32_t set_id) {
+  auto it = productive_cache_.find(set_id);
+  if (it != productive_cache_.end()) return it->second;
+
+  const SubtreeLabelIndex& index = *options_.index;
+  auto label_available = [&](LabelId mfa_label, bool wildcard) {
+    if (wildcard) return !index.IsEmpty(set_id);
+    LabelId t = binding_[mfa_label];
+    return t != kNoLabel && index.Contains(set_id, t);
+  };
+
+  Productive prod;
+  // CanBeTrue over AFA states: least fixpoint of a monotone system (NOT is
+  // conservatively "can be true": its operand may be false below).
+  prod.afa_cbt.assign(mfa_.afa.size(), 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t s = 0; s < mfa_.afa.size(); ++s) {
+      if (prod.afa_cbt[s]) continue;
+      const AfaState& a = mfa_.afa[s];
+      bool v = false;
+      switch (a.kind) {
+        case AfaKind::kFinal:
+        case AfaKind::kNot:
+          v = true;
+          break;
+        case AfaKind::kTrans:
+          v = label_available(a.label, a.wildcard) && prod.afa_cbt[a.target];
+          break;
+        case AfaKind::kOr:
+          for (StateId o : a.operands) v = v || prod.afa_cbt[o];
+          break;
+        case AfaKind::kAnd:
+          v = true;
+          for (StateId o : a.operands) v = v && prod.afa_cbt[o];
+          break;
+      }
+      if (v) {
+        prod.afa_cbt[s] = 1;
+        changed = true;
+      }
+    }
+  }
+
+  // Selecting-state productivity: can reach a final state using available
+  // labels, through states whose annotations can still be true.
+  prod.sel.assign(mfa_.nfa.size(), 0);
+  auto valid = [&](StateId s) {
+    StateId e = mfa_.nfa[s].afa_entry;
+    return e == kNoState || prod.afa_cbt[e];
+  };
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t s = 0; s < mfa_.nfa.size(); ++s) {
+      if (prod.sel[s] || !valid(static_cast<StateId>(s))) continue;
+      bool v = mfa_.nfa[s].is_final;
+      for (const NfaTransition& t : mfa_.nfa[s].trans) {
+        if (v) break;
+        v = label_available(t.label, t.wildcard) && prod.sel[t.to];
+      }
+      for (StateId e : mfa_.nfa[s].eps) {
+        if (v) break;
+        v = prod.sel[e] != 0;
+      }
+      if (v) {
+        prod.sel[s] = 1;
+        changed = true;
+      }
+    }
+  }
+  return productive_cache_.emplace(set_id, std::move(prod)).first->second;
+}
+
+// Interns the configuration currently held in tmp_m_ / tmp_seeds_ / tmp_f_.
+// All per-node lookups that depend only on the configuration are precomputed
+// here: freq shape (finals / transition states / operator operand
+// positions), annotated-state positions, and the intra-node ε-edge pairs.
+HypeEngine::ConfigId HypeEngine::InternConfig() {
+  uint64_t h = HashCombine(tmp_m_.size(), tmp_f_.size());
+  for (StateId s : tmp_m_) h = HashCombine(h, static_cast<uint64_t>(s));
+  for (char c : tmp_seeds_) h = HashCombine(h, static_cast<uint64_t>(c));
+  for (StateId s : tmp_f_) h = HashCombine(h, static_cast<uint64_t>(s));
+  std::vector<ConfigId>& bucket = config_buckets_[h];
+  for (ConfigId id : bucket) {
+    const Config& c = *configs_[id];
+    if (c.mstates == tmp_m_ && c.seeds == tmp_seeds_ && c.freq == tmp_f_) {
+      return id;
+    }
+  }
+  auto config = std::make_unique<Config>();
+  config->mstates = tmp_m_;
+  config->seeds = tmp_seeds_;
+  config->freq = tmp_f_;
+  config->dead = tmp_m_.empty() && tmp_f_.empty();
+  for (size_t i = 0; i < tmp_m_.size(); ++i) {
+    const automata::NfaState& st = mfa_.nfa[tmp_m_[i]];
+    if (st.afa_entry != kNoState) {
+      config->any_annotated = true;
+      config->annotated.push_back(
+          {static_cast<int>(i), IndexOf(tmp_f_, st.afa_entry)});
+    }
+    if (st.is_final) {
+      config->has_final = true;
+      config->final_mstates.push_back(static_cast<int>(i));
+    }
+    for (StateId e : st.eps) {
+      int j = IndexOf(tmp_m_, e);
+      if (j >= 0) config->eps_pairs.push_back({static_cast<int32_t>(i), j});
+    }
+  }
+  for (size_t j = 0; j < tmp_f_.size(); ++j) {
+    const AfaState& a = mfa_.afa[tmp_f_[j]];
+    switch (a.kind) {
+      case AfaKind::kFinal:
+        config->finals.push_back(static_cast<int>(j));
+        break;
+      case AfaKind::kTrans:
+        config->ftrans.push_back(
+            {static_cast<int>(j), a.target, a.label, a.wildcard});
+        break;
+      default: {
+        Config::OpSpec op;
+        op.kind = a.kind;
+        op.idx = static_cast<int>(j);
+        op.begin = static_cast<int>(config->operand_pos.size());
+        for (StateId o : a.operands) {
+          config->operand_pos.push_back(IndexOf(tmp_f_, o));
+          if (o >= tmp_f_[j]) config->needs_iteration = true;
+        }
+        op.end = static_cast<int>(config->operand_pos.size());
+        config->ops.push_back(op);
+        break;
+      }
+    }
+  }
+  ConfigId id = static_cast<ConfigId>(configs_.size());
+  configs_.push_back(std::move(config));
+  bucket.push_back(id);
+  ++stats_.configs_interned;
+  return id;
+}
+
+// Precomputes the parent→child edge data of one memoized transition: the
+// cans label-edge pairs and the fstates↑ fold pairs. Returns -1 when both
+// are empty (the common navigation case), so the pop path can skip the
+// whole fold with one compare.
+//
+// When the child configuration has no annotated states, none of its vertices
+// can ever be deleted, so its intra-node ε-edges are pure connectivity: the
+// label edges are emitted ε-CLOSED (parent i → every child state reachable
+// from the move target) and the per-node ε materialization is skipped
+// entirely (see EnterNode). Annotated configurations keep the paper's exact
+// wiring: a deleted guard must disconnect what hides behind it.
+int32_t HypeEngine::InternAux(ConfigId from, LabelId tree_label, ConfigId to) {
+  const Config& p = *configs_[from];
+  const Config& c = *configs_[to];
+  TransAux aux;
+  // ε-adjacency of the child config (only needed for closure).
+  std::vector<std::vector<int32_t>> adj;
+  std::vector<char> reach;
+  std::vector<int32_t> work;
+  if (!c.any_annotated && !c.eps_pairs.empty()) {
+    adj.resize(c.mstates.size());
+    for (auto [i, j] : c.eps_pairs) adj[i].push_back(j);
+  }
+  for (size_t i = 0; i < p.mstates.size(); ++i) {
+    reach.assign(c.mstates.size(), 0);
+    for (const NfaTransition& t : mfa_.nfa[p.mstates[i]].trans) {
+      if (!t.wildcard &&
+          (t.label == kNoLabel || binding_[t.label] != tree_label)) {
+        continue;
+      }
+      int j = IndexOf(c.mstates, t.to);
+      if (j < 0 || reach[j]) continue;
+      reach[j] = 1;
+      aux.label_edges.push_back({static_cast<int32_t>(i), j});
+      if (!adj.empty()) {
+        work.assign(1, j);
+        while (!work.empty()) {
+          int32_t v = work.back();
+          work.pop_back();
+          for (int32_t e : adj[v]) {
+            if (!reach[e]) {
+              reach[e] = 1;
+              aux.label_edges.push_back({static_cast<int32_t>(i), e});
+              work.push_back(e);
+            }
+          }
+        }
+      }
+    }
+  }
+  for (const Config::FreqTrans& ft : p.ftrans) {
+    if (!ft.wildcard &&
+        (ft.label == kNoLabel || binding_[ft.label] != tree_label)) {
+      continue;
+    }
+    int k = IndexOf(c.freq, ft.target);
+    if (k >= 0) aux.fold_pairs.push_back({ft.idx, k});
+  }
+  if (aux.label_edges.empty() && aux.fold_pairs.empty()) return -1;
+  return InternAuxContent(std::move(aux));
+}
+
+int32_t HypeEngine::InternAuxContent(TransAux aux) {
+  uint64_t h = HashCombine(aux.label_edges.size(), aux.fold_pairs.size());
+  for (auto [i, j] : aux.label_edges) {
+    h = HashCombine(h, (static_cast<uint64_t>(i) << 32) |
+                           static_cast<uint32_t>(j));
+  }
+  for (auto [i, j] : aux.fold_pairs) {
+    h = HashCombine(h, ~((static_cast<uint64_t>(i) << 32) |
+                         static_cast<uint32_t>(j)));
+  }
+  std::vector<int32_t>& bucket = aux_buckets_[h];
+  for (int32_t id : bucket) {
+    if (trans_aux_[id].label_edges == aux.label_edges &&
+        trans_aux_[id].fold_pairs == aux.fold_pairs) {
+      return id;
+    }
+  }
+  trans_aux_.push_back(std::move(aux));
+  int32_t id = static_cast<int32_t>(trans_aux_.size()) - 1;
+  bucket.push_back(id);
+  return id;
+}
+
+// Composition of two edge mappings, for wiring a materialized node to its
+// nearest materialized ancestor across barren pass-through nodes. Content
+// interning makes repeated compositions along uniform chains (Kleene stars
+// over recursive data) converge to a fixed id, so the memo stays tiny even
+// on 100k-deep documents.
+int32_t HypeEngine::ComposeAux(int32_t a, int32_t b) {
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+                 static_cast<uint32_t>(b);
+  auto it = compose_memo_.find(key);
+  if (it != compose_memo_.end()) return it->second;
+
+  const std::vector<std::pair<int32_t, int32_t>>& ab = trans_aux_[a].label_edges;
+  const std::vector<std::pair<int32_t, int32_t>>& bc = trans_aux_[b].label_edges;
+  // Small relational join: group bc by source, then map ab through it.
+  TransAux out;
+  for (auto [i, j] : ab) {
+    for (auto [j2, k] : bc) {
+      if (j2 != j) continue;
+      bool dup = false;
+      for (auto [oi, ok] : out.label_edges) {
+        if (oi == i && ok == k) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) out.label_edges.push_back({i, k});
+    }
+  }
+  int32_t id = out.label_edges.empty() ? -1 : InternAuxContent(std::move(out));
+  compose_memo_.emplace(key, id);
+  return id;
+}
+
+HypeEngine::SuccRef HypeEngine::ComputeTransition(ConfigId config,
+                                                  LabelId tree_label,
+                                                  int32_t eff_set) {
+  const Config& cur = *configs_[config];
+
+  // NextNFAStates: label move, then ε-closure; move targets are seeds.
+  tmp_m_.clear();
+  int64_t epoch = ++nfa_epoch_;
+  for (StateId s : cur.mstates) {
+    for (const NfaTransition& t : mfa_.nfa[s].trans) {
+      if (t.wildcard ||
+          (t.label != kNoLabel && binding_[t.label] == tree_label)) {
+        if (nfa_mark_[t.to] != epoch) {
+          nfa_mark_[t.to] = epoch;
+          tmp_m_.push_back(t.to);
+        }
+      }
+    }
+  }
+  size_t num_seeds = tmp_m_.size();
+  for (size_t i = 0; i < tmp_m_.size(); ++i) {
+    for (StateId e : mfa_.nfa[tmp_m_[i]].eps) {
+      if (nfa_mark_[e] != epoch) {
+        nfa_mark_[e] = epoch;
+        tmp_m_.push_back(e);
+      }
+    }
+  }
+  tagged_.clear();
+  for (size_t i = 0; i < tmp_m_.size(); ++i) {
+    tagged_.push_back({tmp_m_[i], i < num_seeds ? char{1} : char{0}});
+  }
+  std::sort(tagged_.begin(), tagged_.end());
+  tmp_seeds_.resize(tagged_.size());
+  for (size_t i = 0; i < tagged_.size(); ++i) {
+    tmp_m_[i] = tagged_[i].first;
+    tmp_seeds_[i] = tagged_[i].second;
+  }
+
+  // NextAFAStates: transition moves, newly activated annotations, operator
+  // closure.
+  tmp_f_.clear();
+  int64_t fepoch = ++afa_epoch_;
+  auto add = [&](StateId s) {
+    if (afa_mark_[s] != fepoch) {
+      afa_mark_[s] = fepoch;
+      tmp_f_.push_back(s);
+    }
+  };
+  for (StateId u : cur.freq) {
+    const AfaState& a = mfa_.afa[u];
+    if (a.kind == AfaKind::kTrans &&
+        (a.wildcard ||
+         (a.label != kNoLabel && binding_[a.label] == tree_label))) {
+      add(a.target);
+    }
+  }
+  for (StateId s : tmp_m_) {
+    if (mfa_.nfa[s].afa_entry != kNoState) add(mfa_.nfa[s].afa_entry);
+  }
+  for (size_t i = 0; i < tmp_f_.size(); ++i) {
+    for (StateId o : mfa_.afa[tmp_f_[i]].operands) add(o);
+  }
+  std::sort(tmp_f_.begin(), tmp_f_.end());
+
+  if (options_.index != nullptr) {
+    const Productive& prod = ProductiveFor(eff_set);
+    size_t w = 0;
+    for (size_t i = 0; i < tmp_m_.size(); ++i) {
+      if (prod.sel[tmp_m_[i]]) {
+        tmp_m_[w] = tmp_m_[i];
+        tmp_seeds_[w] = tmp_seeds_[i];
+        ++w;
+      }
+    }
+    tmp_m_.resize(w);
+    tmp_seeds_.resize(w);
+    RestrictToSeedReachable(&tmp_m_, &tmp_seeds_);
+    std::erase_if(tmp_f_, [&](StateId u) { return !prod.afa_cbt[u]; });
+  }
+  SuccRef succ;
+  succ.config = InternConfig();
+  succ.aux = InternAux(config, tree_label, succ.config);
+  return succ;
+}
+
+HypeEngine::SuccRef HypeEngine::PeekTransition(int32_t config,
+                                               LabelId tree_label,
+                                               int32_t eff_set) {
+  Config& cur = *configs_[config];
+  if (options_.index == nullptr) {
+    if (cur.next.empty()) cur.next.assign(tree_.labels().size(), SuccRef{});
+    SuccRef& slot = cur.next[tree_label];
+    if (slot.config < 0) slot = ComputeTransition(config, tree_label, eff_set);
+    return slot;
+  }
+  // Indexed modes: per (config, label), a short (label-set, successor) list.
+  if (cur.next_by_eff.empty()) cur.next_by_eff.resize(tree_.labels().size());
+  std::vector<std::pair<int32_t, SuccRef>>& slots = cur.next_by_eff[tree_label];
+  for (const auto& [eff, next] : slots) {
+    if (eff == eff_set) return next;
+  }
+  SuccRef next = ComputeTransition(config, tree_label, eff_set);
+  // `cur` may have been invalidated only if configs_ grew -- the pointed-to
+  // Config is heap-stable (unique_ptr), so `slots` stays valid.
+  slots.emplace_back(eff_set, next);
+  return next;
+}
+
+int32_t HypeEngine::PrepareRoot(xml::NodeId context) {
+  stats_.elements_visited = 0;
+  stats_.cans_vertices = 0;
+  stats_.cans_edges = 0;
+  stats_.afa_state_requests = 0;
+  direct_answers_.clear();
+  cans_.Reset();
+  depth_ = -1;
+
+  // The context configuration depends only on the context node (and the
+  // index, which is fixed): repeated evaluations skip the closure rebuild.
+  auto cached = root_config_cache_.find(context);
+  if (cached != root_config_cache_.end()) return cached->second;
+
+  // Build the context configuration: ε-closure of the start state; the start
+  // state itself is the only unconditional entry point.
+  tmp_m_ = {mfa_.start};
+  automata::EpsClosure(mfa_, &tmp_m_);
+  tmp_seeds_.assign(tmp_m_.size(), 0);
+  int si = IndexOf(tmp_m_, mfa_.start);
+  if (si >= 0) tmp_seeds_[si] = 1;
+
+  tmp_f_.clear();
+  int64_t fepoch = ++afa_epoch_;
+  auto add = [&](StateId s) {
+    if (afa_mark_[s] != fepoch) {
+      afa_mark_[s] = fepoch;
+      tmp_f_.push_back(s);
+    }
+  };
+  for (StateId s : tmp_m_) {
+    if (mfa_.nfa[s].afa_entry != kNoState) add(mfa_.nfa[s].afa_entry);
+  }
+  for (size_t i = 0; i < tmp_f_.size(); ++i) {
+    for (StateId o : mfa_.afa[tmp_f_[i]].operands) add(o);
+  }
+  std::sort(tmp_f_.begin(), tmp_f_.end());
+
+  if (options_.index != nullptr) {
+    int32_t eff = options_.index->SetForContext(tree_, context);
+    const Productive& prod = ProductiveFor(eff);
+    size_t w = 0;
+    for (size_t i = 0; i < tmp_m_.size(); ++i) {
+      if (prod.sel[tmp_m_[i]]) {
+        tmp_m_[w] = tmp_m_[i];
+        tmp_seeds_[w] = tmp_seeds_[i];
+        ++w;
+      }
+    }
+    tmp_m_.resize(w);
+    tmp_seeds_.resize(w);
+    RestrictToSeedReachable(&tmp_m_, &tmp_seeds_);
+    std::erase_if(tmp_f_, [&](StateId u) { return !prod.afa_cbt[u]; });
+  }
+
+  ConfigId root_config = InternConfig();
+  int32_t result = configs_[root_config]->dead ? -1 : root_config;
+  root_config_cache_.emplace(context, result);
+  return result;
+}
+
+bool HypeEngine::Start(xml::NodeId context) {
+  int32_t root_config = PrepareRoot(context);
+  if (root_config < 0) return false;
+  BeginFrames(root_config);
+  return true;
+}
+
+void HypeEngine::BeginFrames(int32_t config) {
+  assert(depth_ == -1);
+  Frame& bottom = FrameAt(0);
+  bottom.config = config;
+  bottom.aux = -1;
+  bottom.entered_in_region = false;
+  depth_ = 0;
+  EnterNode();
+}
+
+void HypeEngine::DescendWith(SuccRef succ) {
+  assert(depth_ >= 0);
+  Frame& frame = *frames_[depth_];
+  Frame& child = FrameAt(depth_ + 1);
+  child.config = succ.config;
+  child.aux = succ.aux;
+  child.entered_in_region = frame.region;
+  ++depth_;
+  EnterNode();
+}
+
+bool HypeEngine::DescendInto(LabelId child_label, int32_t child_eff_set) {
+  SuccRef succ =
+      PeekTransition(frames_[depth_]->config, child_label, child_eff_set);
+  if (configs_[succ.config]->dead) return false;  // prune the subtree
+  DescendWith(succ);
+  return true;
+}
+
+// Prologue of one node of the pass. The node's configuration lives in the
+// frame at the current depth; fvals (aligned with the config's freq) and
+// cans vertices (aligned with its mstates) are initialized here.
+//
+// frame.region says whether cans bookkeeping is active: outside a region no
+// filter guards any run prefix, so final states emit answers directly and no
+// vertices are allocated. A region opens at the first node whose mstates
+// contain an annotated state; its label-move seeds become the region's
+// initial vertices.
+void HypeEngine::EnterNode() {
+  ++stats_.elements_visited;
+  Frame& frame = *frames_[depth_];
+  const Config& config = *configs_[frame.config];
+  stats_.afa_state_requests += static_cast<int64_t>(config.freq.size());
+
+  bool opens_region = !frame.entered_in_region && config.any_annotated;
+  frame.region = frame.entered_in_region || opens_region;
+
+  frame.vcount = 0;
+  frame.eff_aux = -1;
+  if (frame.region) {
+    // Resolve the incoming cans edge mapping: from the parent directly, or
+    // composed across barren pass-through ancestors.
+    if (frame.entered_in_region && frame.aux >= 0) {
+      const Frame& parent = *frames_[depth_ - 1];
+      if (parent.vcount > 0) {
+        frame.eff_aux = frame.aux;
+        frame.eff_vbase = parent.vbase;
+      } else if (parent.eff_aux >= 0) {
+        frame.eff_aux = ComposeAux(parent.eff_aux, frame.aux);
+        frame.eff_vbase = parent.eff_vbase;
+      }
+    }
+    // Only vertices that can be deleted (annotated) or can carry answers
+    // (final) must materialize; connectivity through barren nodes is wired
+    // directly via the composed mappings, and their ε-closure is already
+    // folded into the transition's label edges (InternAux).
+    if ((config.any_annotated || config.has_final) && !config.mstates.empty()) {
+      frame.vcount = static_cast<int32_t>(config.mstates.size());
+      frame.vbase = cans_.AddVertexRange(frame.vcount);
+      if (opens_region) {
+        // When a region opens here, only the unconditionally-valid entry
+        // points (label-move seeds / the NFA start at the context) may seed
+        // phase two; everything else must be reached through recorded
+        // ε-edges so a deleted guard disconnects what hides behind it.
+        for (int32_t i = 0; i < frame.vcount; ++i) {
+          if (config.seeds[i]) cans_.MarkInitial(frame.vbase + i);
+        }
+      }
+      if (config.any_annotated) {
+        for (auto [i, j] : config.eps_pairs) {
+          cans_.AddEdge(frame.vbase + i, frame.vbase + j);
+        }
+      }
+    }
+  }
+
+  if (!config.freq.empty() || !frame.fvals.empty()) {
+    frame.fvals.assign(config.freq.size(), 0);
+  }
+}
+
+// Epilogue: evaluate final-state predicates, run the same-node operator
+// fixpoint, delete vertices whose filter failed, report answers -- then fold
+// this node's results into the parent frame through the precomputed edge
+// data (the work the recursive Visit did after the child returned).
+void HypeEngine::ExitNode(xml::NodeId node) {
+  Frame& frame = *frames_[depth_];
+  const Config& config = *configs_[frame.config];
+  const std::vector<StateId>& freq = config.freq;
+
+  if (!freq.empty()) {
+    for (int j : config.finals) {
+      frame.fvals[j] =
+          automata::FinalPredHolds(mfa_.afa[freq[j]], tree_, node) ? 1 : 0;
+    }
+    // Operator fixpoint. Operands precede operators in the ascending sweep
+    // except across Kleene-loop back-edges, so one sweep usually suffices;
+    // with back-edges we iterate to the (stratified) fixpoint. A pruned
+    // operand (position -1) reads as false.
+    bool changed = !config.ops.empty();
+    while (changed) {
+      changed = false;
+      for (const Config::OpSpec& op : config.ops) {
+        char v;
+        if (op.kind == AfaKind::kOr) {
+          v = 0;
+          for (int p = op.begin; p < op.end; ++p) {
+            int k = config.operand_pos[p];
+            if (k >= 0 && frame.fvals[k]) {
+              v = 1;
+              break;
+            }
+          }
+        } else if (op.kind == AfaKind::kAnd) {
+          v = 1;
+          for (int p = op.begin; p < op.end; ++p) {
+            int k = config.operand_pos[p];
+            if (k < 0 || !frame.fvals[k]) {
+              v = 0;
+              break;
+            }
+          }
+        } else {  // kNot
+          int k = config.operand_pos[op.begin];
+          v = (k < 0 || !frame.fvals[k]) ? 1 : 0;
+        }
+        if (v != frame.fvals[op.idx]) {
+          frame.fvals[op.idx] = v;
+          changed = true;
+        }
+      }
+      if (!config.needs_iteration) break;
+    }
+  }
+
+  // Delete vertices whose filter failed; report answers.
+  if (frame.region) {
+    const std::vector<StateId>& mstates = config.mstates;
+    int64_t deleted_epoch = ++nfa_epoch2_;
+    for (auto [i, pos] : config.annotated) {
+      if (pos < 0 || !frame.fvals[pos]) {
+        cans_.DeleteVertex(frame.vbase + i);
+        nfa_mark2_[mstates[i]] = deleted_epoch;
+      }
+    }
+    for (int i : config.final_mstates) {
+      if (nfa_mark2_[mstates[i]] != deleted_epoch) {
+        cans_.SetAnswer(frame.vbase + i, node);
+      }
+    }
+  } else if (config.has_final) {
+    direct_answers_.push_back(node);
+  }
+
+  // Label edges nearest-materialized-ancestor state --...--> this node's
+  // state (composed across barren pass-through nodes).
+  if (frame.vcount > 0 && frame.eff_aux >= 0) {
+    for (auto [i, j] : trans_aux_[frame.eff_aux].label_edges) {
+      cans_.AddEdge(frame.eff_vbase + i, frame.vbase + j);
+    }
+  }
+  if (depth_ > 0 && frame.aux >= 0) {
+    Frame& parent = *frames_[depth_ - 1];
+    // fstates↑: fold this node's truths into the parent's transition states.
+    for (auto [idx, k] : trans_aux_[frame.aux].fold_pairs) {
+      if (!parent.fvals[idx] && frame.fvals[k]) parent.fvals[idx] = 1;
+    }
+  }
+  --depth_;
+}
+
+std::vector<xml::NodeId> HypeEngine::TakeAnswers() {
+  stats_.cans_vertices = cans_.num_vertices();
+  stats_.cans_edges = cans_.num_edges();
+  std::vector<xml::NodeId> answers = cans_.CollectAnswers();
+  answers.insert(answers.end(), direct_answers_.begin(), direct_answers_.end());
+  // Direct answers of navigation queries arrive in document order already
+  // (pre-order emission, ids increase along the DFS): skip the sort then.
+  if (!std::is_sorted(answers.begin(), answers.end())) {
+    std::sort(answers.begin(), answers.end());
+  }
+  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  return answers;
+}
+
+SharedPassStats RunSharedPass(const xml::Tree& tree,
+                              const SubtreeLabelIndex* index,
+                              xml::NodeId context,
+                              std::span<HypeEngine* const> engines) {
+  SharedPassStats pass;
+  if (engines.empty()) return pass;
+
+  // Per-node live-engine lists live in one stack-disciplined arena: a frame's
+  // list is the [live_begin, live_end) slice appended when it was pushed, so
+  // per-child work is proportional to the engines actually live at the
+  // parent, not to the batch size.
+  struct WalkFrame {
+    xml::NodeId node;
+    xml::NodeId next_child;
+    int32_t eff_set;
+    size_t live_begin;
+    size_t live_end;
+  };
+  std::vector<WalkFrame> stack;
+  stack.reserve(64);
+  std::vector<uint32_t> live;
+  live.reserve(engines.size() * 8);
+  int32_t root_eff = index != nullptr ? index->SetForContext(tree, context) : 0;
+
+  ++pass.nodes_walked;
+  for (size_t i = 0; i < engines.size(); ++i) {
+    live.push_back(static_cast<uint32_t>(i));  // Start() already entered
+  }
+  stack.push_back({context, tree.first_child(context), root_eff, 0,
+                   live.size()});
+
+  while (!stack.empty()) {
+    WalkFrame& top = stack.back();
+
+    xml::NodeId c = top.next_child;
+    while (c != xml::kNullNode && !tree.is_element(c)) {
+      c = tree.next_sibling(c);
+    }
+    if (c == xml::kNullNode) {
+      for (size_t k = top.live_begin; k < top.live_end; ++k) {
+        engines[live[k]]->ExitNode(top.node);
+      }
+      live.resize(top.live_begin);
+      stack.pop_back();
+      continue;
+    }
+    top.next_child = tree.next_sibling(c);
+
+    // Decode the child and resolve its subtree label set once, for everyone.
+    LabelId cl = tree.label(c);
+    int32_t eff_c =
+        index != nullptr ? index->EffectiveSet(c, top.eff_set) : top.eff_set;
+
+    const size_t child_begin = live.size();
+    for (size_t k = top.live_begin; k < top.live_end; ++k) {
+      uint32_t ei = live[k];
+      if (engines[ei]->DescendInto(cl, eff_c)) live.push_back(ei);
+    }
+    if (live.size() > child_begin) {
+      ++pass.nodes_walked;
+      stack.push_back(
+          {c, tree.first_child(c), eff_c, child_begin, live.size()});
+    } else {
+      ++pass.subtrees_skipped;  // every live engine pruned this subtree
+    }
+  }
+  return pass;
+}
+
+}  // namespace smoqe::hype

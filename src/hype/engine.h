@@ -1,0 +1,333 @@
+// The HyPE engine/driver split.
+//
+// DESIGN NOTE (batched multi-query evaluation)
+// --------------------------------------------
+// Algorithm HyPE (Section 6 of the paper) answers one MFA per depth-first
+// pass over the document. A view server answering many concurrent queries
+// against the *same* materialized view repeats that pass per query, so the
+// traversal itself — node decoding, child iteration, subtree-label-index
+// lookups — dominates. This header splits the original HypeEvaluator into:
+//
+//  * HypeEngine — ALL per-query state: the hash-consed configuration store
+//    and its lazy transition tables, the per-depth frames (fstates↑ truth
+//    values, cans vertices), the cans DAG, the epoch-marked scratch arrays,
+//    and the run statistics. The engine never walks the tree; it reacts to
+//    traversal events:
+//
+//       Start(context) /          build the context configuration
+//         PrepareRoot(context)
+//       DescendInto(label, set)   memoized child transition + prologue;
+//                                 false = prune the subtree
+//       ExitNode(n)               epilogue: same-node fixpoint, cans
+//                                 deletions, fold fstates↑ into the parent
+//       TakeAnswers()             phase two: collect answers from cans
+//
+//  * RunSharedPass — the traversal driver: ONE iterative, recursion-free
+//    (explicit-stack) depth-first walk that drives any number of engines in
+//    lockstep. Per tree node the driver decodes the label, iterates element
+//    children, and resolves the subtree-label-index set once, then fans the
+//    result out to every engine still live at that node (tracked by per-node
+//    live lists in a stack arena, so the fan-out costs O(live), not
+//    O(batch)). A subtree is skipped only when EVERY live engine prunes it,
+//    so each engine observes exactly the nodes its solo pass would have
+//    visited — per-engine answers and statistics are identical to
+//    single-query evaluation by construction.
+//
+// The per-node work of the original Visit() is aggressively hoisted into
+// intern time: each Config precomputes its intra-node ε-edge pairs, operator
+// operand positions, and annotated-state positions, and each memoized
+// transition precomputes the parent→child cans label-edge pairs and the
+// fstates↑ fold pairs. The hot path is then pure array traffic — no binary
+// searches, no position stamping.
+//
+// The explicit stack also removes the recursion of the original Visit(),
+// bounding stack use on documents of arbitrary depth (regression-tested at
+// depth 100k+).
+//
+// HypeEvaluator (hype.h) drives one engine through this driver.
+// BatchHypeEvaluator (batch_hype.h) drives N engines through its own
+// sharing driver built on the low-level hooks (PrepareRoot, PeekTransition,
+// DescendWith, BeginFrames): it interns the TUPLE of per-engine
+// configurations per node and memoizes joint transitions, so a batch of
+// queries advances with one table lookup per (joint state, label), and
+// engines in a "simple" state (no AFA requests pending, no cans region,
+// nothing annotated) ride the joint table with no per-node work at all.
+
+#ifndef SMOQE_HYPE_ENGINE_H_
+#define SMOQE_HYPE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/afa.h"
+#include "automata/mfa.h"
+#include "hype/cans.h"
+#include "hype/index.h"
+#include "xml/tree.h"
+
+namespace smoqe::hype {
+
+struct EvalStats {
+  int64_t elements_total = 0;
+  int64_t elements_visited = 0;
+  int64_t cans_vertices = 0;
+  int64_t cans_edges = 0;
+  int64_t afa_state_requests = 0;
+  int64_t configs_interned = 0;
+
+  /// Fraction of element nodes never visited (the paper reports 78.2% for
+  /// HyPE and 88% for OptHyPE on its example queries).
+  double PrunedFraction() const {
+    if (elements_total == 0) return 0.0;
+    return 1.0 - static_cast<double>(elements_visited) /
+                     static_cast<double>(elements_total);
+  }
+};
+
+struct HypeOptions {
+  /// When set, enables index-based pruning (OptHyPE / OptHyPE-C depending on
+  /// how the index was built). The index must have been built for the same
+  /// tree.
+  const SubtreeLabelIndex* index = nullptr;
+};
+
+/// Per-query evaluation state of Algorithm HyPE, driven by RunSharedPass or
+/// the batch sharing driver. One evaluation is Start() (or PrepareRoot +
+/// BeginFrames); the pass; TakeAnswers(). The configuration store persists
+/// across evaluations (repeated Evals get warm transition tables).
+class HypeEngine {
+ public:
+  HypeEngine(const xml::Tree& tree, const automata::Mfa& mfa,
+             HypeOptions options = {});
+
+  /// Resets per-run state, builds the context configuration, and opens the
+  /// context frame. Returns false when the configuration is dead (the pass
+  /// can skip this engine entirely; TakeAnswers still yields no answers).
+  bool Start(xml::NodeId context);
+
+  /// Memoized child transition + child prologue when the engine descends;
+  /// false = the subtree is pruned for this engine.
+  bool DescendInto(LabelId child_label, int32_t child_eff_set);
+
+  /// Epilogue for the node the engine last entered: same-node operator
+  /// fixpoint, cans deletions, answer reporting, fold into the parent frame.
+  void ExitNode(xml::NodeId node);
+
+  /// Phase two: sorted ids of the answer nodes of the completed pass.
+  std::vector<xml::NodeId> TakeAnswers();
+
+  /// Frame depth (context frame = 0); -1 when no frame is open.
+  int depth() const { return depth_; }
+
+  const EvalStats& stats() const { return stats_; }
+  const SubtreeLabelIndex* index() const { return options_.index; }
+
+  // ---- low-level hooks for the batch sharing driver (batch_hype.cc) ----
+
+  /// A memoized successor: the child configuration plus the id of the
+  /// precomputed parent→child edge data (cans label edges, fold pairs).
+  struct SuccRef {
+    int32_t config = -1;
+    int32_t aux = -1;
+  };
+
+  /// Like Start, but does not open the context frame (the engine stays
+  /// frameless); returns the context configuration id, or -1 when dead.
+  int32_t PrepareRoot(xml::NodeId context);
+
+  /// The memoized transition out of `config` (no frame side effects; safe to
+  /// call for frameless engines).
+  SuccRef PeekTransition(int32_t config, LabelId tree_label, int32_t eff_set);
+
+  /// Pushes a child frame for an already-computed successor and runs the
+  /// node prologue. Precondition: a frame is open (depth() >= 0).
+  void DescendWith(SuccRef succ);
+
+  /// Opens the engine's bottom frame mid-pass at a node with configuration
+  /// `config` (the engine was frameless above; nothing folds upward).
+  /// Precondition: depth() == -1.
+  void BeginFrames(int32_t config);
+
+  /// Records a direct answer for a frameless engine at `node`.
+  void EmitAnswer(xml::NodeId node) { direct_answers_.push_back(node); }
+
+  /// Accounts nodes visited framelessly (batch driver bookkeeping).
+  void AddVisited(int64_t n) { stats_.elements_visited += n; }
+
+  bool ConfigDead(int32_t config) const { return configs_[config]->dead; }
+  bool ConfigHasFinal(int32_t config) const {
+    return configs_[config]->has_final;
+  }
+  /// Simple = no AFA requests, nothing annotated: outside a region the
+  /// engine's whole per-node behavior is determined by the config id, so the
+  /// batch driver needs no frame for it.
+  bool ConfigSimple(int32_t config) const {
+    const Config& c = *configs_[config];
+    return c.freq.empty() && !c.any_annotated;
+  }
+
+ private:
+  using StateId = automata::StateId;
+  using ConfigId = int32_t;
+
+  // A hash-consed evaluation configuration: the selecting states occupied at
+  // a node, which of them were entered by the label move itself (seeds), and
+  // the AFA states requested there.
+  struct Config {
+    std::vector<StateId> mstates;  // sorted
+    std::vector<char> seeds;       // aligned with mstates
+    std::vector<StateId> freq;     // sorted
+    bool any_annotated = false;
+    bool dead = false;             // both sets empty: prune the subtree
+    bool has_final = false;
+    // Precomputed views of freq, so the hot pop path touches only what it
+    // needs: indices of final states, and the transition states with their
+    // move labels (used when interning successor transitions).
+    struct FreqTrans {
+      int idx;
+      StateId target;
+      LabelId label;
+      bool wildcard;
+    };
+    std::vector<int> finals;
+    std::vector<FreqTrans> ftrans;
+    // Same-node operator states: kind, own position in freq, and the slice
+    // [begin, end) of operand_pos holding the operand positions (-1 when an
+    // operand was pruned from freq: absent = false).
+    struct OpSpec {
+      automata::AfaKind kind;
+      int idx;
+      int begin;
+      int end;
+    };
+    std::vector<OpSpec> ops;
+    std::vector<int> operand_pos;
+    // With the split property, operands mostly precede operators in id
+    // order; only Kleene-star loops create back-edges. Without a back-edge a
+    // single ascending sweep reaches the fixpoint.
+    bool needs_iteration = false;
+    // Annotated / final selecting states: (index into mstates, position of
+    // the AFA entry in freq, -1 if pruned) / indices into mstates.
+    std::vector<std::pair<int, int>> annotated;
+    std::vector<int> final_mstates;
+    // Intra-node ε-edges (i, j) within mstates, for cans wiring.
+    std::vector<std::pair<int32_t, int32_t>> eps_pairs;
+    // Lazy transition tables. Without an index: one slot per tree label.
+    // With an index: per label, a short list of (label-set id, successor) --
+    // distinct subtree label-sets per (config, label) are few in practice,
+    // so a linear scan beats hashing.
+    std::vector<SuccRef> next;
+    std::vector<std::vector<std::pair<int32_t, SuccRef>>> next_by_eff;
+  };
+
+  // Precomputed per-transition edge data: cans label edges (i in parent
+  // mstates, j in child mstates) and fstates↑ fold pairs (parent fvals
+  // index, child fvals index). aux id -1 in SuccRef = both empty. Entries
+  // are content-interned so compositions over barren chains converge to a
+  // handful of ids.
+  struct TransAux {
+    std::vector<std::pair<int32_t, int32_t>> label_edges;
+    std::vector<std::pair<int32_t, int32_t>> fold_pairs;
+  };
+
+  // Reusable per-depth scratch for the traversal.
+  struct Frame {
+    ConfigId config = -1;
+    int32_t aux = -1;         // edge data into this node (fold pairs etc.)
+    std::vector<char> fvals;  // aligned with config freq
+    // The node's cans vertices: `vcount` contiguous ids starting at `vbase`,
+    // aligned with the config's mstates. Only nodes whose vertices can be
+    // deleted or can carry answers (annotated / final configs) materialize
+    // vertices; barren in-region nodes are pass-through (vcount 0), and
+    // eff_aux/eff_vbase address the nearest materialized ancestor with the
+    // composed edge mapping (path compression over non-deletable vertices).
+    CansGraph::VertexId vbase = 0;
+    int32_t vcount = 0;
+    CansGraph::VertexId eff_vbase = 0;
+    int32_t eff_aux = -1;  // -1: no incoming cans edges to wire
+    bool entered_in_region = false;  // region status inherited from the parent
+    bool region = false;             // after possibly opening one here
+  };
+  Frame& FrameAt(int depth) {
+    if (static_cast<size_t>(depth) < frames_.size()) return *frames_[depth];
+    return GrowFrames(depth);
+  }
+  Frame& GrowFrames(int depth);
+
+  // Per-(label-set) productivity analysis, memoized for OptHyPE.
+  struct Productive {
+    std::vector<char> sel;
+    std::vector<char> afa_cbt;
+  };
+  const Productive& ProductiveFor(int32_t set_id);
+
+  SuccRef ComputeTransition(ConfigId config, LabelId tree_label,
+                            int32_t eff_set);
+  ConfigId InternConfig();  // interns the tmp_* scratch triple
+  int32_t InternAux(ConfigId from, LabelId tree_label, ConfigId to);
+  int32_t InternAuxContent(TransAux aux);   // content hash-consing
+  int32_t ComposeAux(int32_t a, int32_t b); // (i,j)x(j,k) -> (i,k), memoized
+
+  void RestrictToSeedReachable(std::vector<StateId>* mstates,
+                               std::vector<char>* seeds);
+  void EnterNode();  // node prologue for the frame at depth_
+
+  const xml::Tree& tree_;
+  const automata::Mfa& mfa_;
+  HypeOptions options_;
+  std::vector<LabelId> binding_;  // MFA label id -> tree label id
+  std::unordered_map<int32_t, Productive> productive_cache_;
+  EvalStats stats_;
+
+  // Configuration store.
+  std::vector<std::unique_ptr<Config>> configs_;
+  std::unordered_map<uint64_t, std::vector<ConfigId>> config_buckets_;
+  std::vector<TransAux> trans_aux_;
+  std::unordered_map<uint64_t, std::vector<int32_t>> aux_buckets_;
+  std::unordered_map<uint64_t, int32_t> compose_memo_;
+  std::unordered_map<xml::NodeId, int32_t> root_config_cache_;
+
+  // Per-run state.
+  CansGraph cans_;
+  std::vector<xml::NodeId> direct_answers_;
+  int depth_ = -1;
+
+  // Scratch (epoch-marked visited arrays; per-depth frames; intern buffers).
+  std::vector<std::unique_ptr<Frame>> frames_;
+  // 64-bit epochs: a persistent server engine bumps these once per node pop
+  // or transition compute, which would wrap 32 bits within hours of load.
+  std::vector<int64_t> nfa_mark_;
+  std::vector<int64_t> nfa_mark2_;
+  std::vector<int64_t> afa_mark_;
+  int64_t nfa_epoch_ = 0;
+  int64_t nfa_epoch2_ = 0;
+  int64_t afa_epoch_ = 0;
+  std::vector<std::pair<StateId, char>> tagged_;
+  std::vector<StateId> reach_work_;
+  std::vector<StateId> tmp_m_;
+  std::vector<char> tmp_seeds_;
+  std::vector<StateId> tmp_f_;
+};
+
+/// Statistics of one shared pass (driver-side, per walk not per engine).
+struct SharedPassStats {
+  int64_t nodes_walked = 0;     // element nodes the shared walk entered
+  int64_t subtrees_skipped = 0; // children pruned by every live engine
+};
+
+/// Drives `engines` through one explicit-stack depth-first pass over `tree`
+/// from `context`. Every engine must have been Start()ed at the same context
+/// and returned true, and must have been built with the same `index` (or
+/// null). Each engine's answers/statistics equal what its solo pass would
+/// produce.
+SharedPassStats RunSharedPass(const xml::Tree& tree,
+                              const SubtreeLabelIndex* index,
+                              xml::NodeId context,
+                              std::span<HypeEngine* const> engines);
+
+}  // namespace smoqe::hype
+
+#endif  // SMOQE_HYPE_ENGINE_H_

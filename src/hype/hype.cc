@@ -1,552 +1,17 @@
 #include "hype/hype.h"
 
-#include <algorithm>
-#include <cassert>
-
-#include "automata/afa.h"
-
 namespace smoqe::hype {
 
-using automata::AfaKind;
-using automata::AfaState;
-using automata::kNoState;
-using automata::Mfa;
-using automata::NfaTransition;
-
-namespace {
-
-// Index of `id` in the sorted vector, or -1.
-int IndexOf(const std::vector<automata::StateId>& sorted, automata::StateId id) {
-  auto it = std::lower_bound(sorted.begin(), sorted.end(), id);
-  if (it == sorted.end() || *it != id) return -1;
-  return static_cast<int>(it - sorted.begin());
-}
-
-uint64_t HashCombine(uint64_t h, uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  return h;
-}
-
-}  // namespace
-
-HypeEvaluator::HypeEvaluator(const xml::Tree& tree, const Mfa& mfa,
+HypeEvaluator::HypeEvaluator(const xml::Tree& tree, const automata::Mfa& mfa,
                              HypeOptions options)
-    : tree_(tree), mfa_(mfa), options_(options) {
-  binding_.resize(mfa_.labels.size());
-  for (LabelId l = 0; l < mfa_.labels.size(); ++l) {
-    binding_[l] = tree_.labels().Lookup(mfa_.labels.name(l));
-  }
-  stats_.elements_total = tree_.CountElements();
-  nfa_mark_.assign(mfa_.nfa.size(), 0);
-  nfa_mark2_.assign(mfa_.nfa.size(), 0);
-  afa_mark_.assign(mfa_.afa.size(), 0);
-  afa_pos_.assign(mfa_.afa.size(), 0);
-  afa_pos_stamp_.assign(mfa_.afa.size(), 0);
-}
-
-HypeEvaluator::Frame& HypeEvaluator::GrowFrames(int depth) {
-  while (static_cast<int>(frames_.size()) <= depth) {
-    frames_.push_back(std::make_unique<Frame>());
-  }
-  return *frames_[depth];
-}
-
-// After index-based filtering, drop every state that is no longer
-// ε-reachable from a surviving seed: pruning may remove an annotated guard
-// whose CanBeTrue is false, and states hiding behind it must disappear with
-// it (otherwise they would look unguarded outside a cans region).
-void HypeEvaluator::RestrictToSeedReachable(std::vector<StateId>* mstates,
-                                            std::vector<char>* seeds) {
-  int32_t member = ++nfa_epoch_;
-  for (StateId s : *mstates) nfa_mark_[s] = member;
-  int32_t reach = ++nfa_epoch2_;
-  reach_work_.clear();
-  for (size_t i = 0; i < mstates->size(); ++i) {
-    if ((*seeds)[i]) {
-      nfa_mark2_[(*mstates)[i]] = reach;
-      reach_work_.push_back((*mstates)[i]);
-    }
-  }
-  for (size_t i = 0; i < reach_work_.size(); ++i) {
-    for (StateId e : mfa_.nfa[reach_work_[i]].eps) {
-      if (nfa_mark_[e] == member && nfa_mark2_[e] != reach) {
-        nfa_mark2_[e] = reach;
-        reach_work_.push_back(e);
-      }
-    }
-  }
-  size_t w = 0;
-  for (size_t i = 0; i < mstates->size(); ++i) {
-    if (nfa_mark2_[(*mstates)[i]] == reach) {
-      (*mstates)[w] = (*mstates)[i];
-      (*seeds)[w] = (*seeds)[i];
-      ++w;
-    }
-  }
-  mstates->resize(w);
-  seeds->resize(w);
-}
-
-const HypeEvaluator::Productive& HypeEvaluator::ProductiveFor(int32_t set_id) {
-  auto it = productive_cache_.find(set_id);
-  if (it != productive_cache_.end()) return it->second;
-
-  const SubtreeLabelIndex& index = *options_.index;
-  auto label_available = [&](LabelId mfa_label, bool wildcard) {
-    if (wildcard) return !index.IsEmpty(set_id);
-    LabelId t = binding_[mfa_label];
-    return t != kNoLabel && index.Contains(set_id, t);
-  };
-
-  Productive prod;
-  // CanBeTrue over AFA states: least fixpoint of a monotone system (NOT is
-  // conservatively "can be true": its operand may be false below).
-  prod.afa_cbt.assign(mfa_.afa.size(), 0);
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t s = 0; s < mfa_.afa.size(); ++s) {
-      if (prod.afa_cbt[s]) continue;
-      const AfaState& a = mfa_.afa[s];
-      bool v = false;
-      switch (a.kind) {
-        case AfaKind::kFinal:
-        case AfaKind::kNot:
-          v = true;
-          break;
-        case AfaKind::kTrans:
-          v = label_available(a.label, a.wildcard) && prod.afa_cbt[a.target];
-          break;
-        case AfaKind::kOr:
-          for (StateId o : a.operands) v = v || prod.afa_cbt[o];
-          break;
-        case AfaKind::kAnd:
-          v = true;
-          for (StateId o : a.operands) v = v && prod.afa_cbt[o];
-          break;
-      }
-      if (v) {
-        prod.afa_cbt[s] = 1;
-        changed = true;
-      }
-    }
-  }
-
-  // Selecting-state productivity: can reach a final state using available
-  // labels, through states whose annotations can still be true.
-  prod.sel.assign(mfa_.nfa.size(), 0);
-  auto valid = [&](StateId s) {
-    StateId e = mfa_.nfa[s].afa_entry;
-    return e == kNoState || prod.afa_cbt[e];
-  };
-  changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t s = 0; s < mfa_.nfa.size(); ++s) {
-      if (prod.sel[s] || !valid(static_cast<StateId>(s))) continue;
-      bool v = mfa_.nfa[s].is_final;
-      for (const NfaTransition& t : mfa_.nfa[s].trans) {
-        if (v) break;
-        v = label_available(t.label, t.wildcard) && prod.sel[t.to];
-      }
-      for (StateId e : mfa_.nfa[s].eps) {
-        if (v) break;
-        v = prod.sel[e] != 0;
-      }
-      if (v) {
-        prod.sel[s] = 1;
-        changed = true;
-      }
-    }
-  }
-  return productive_cache_.emplace(set_id, std::move(prod)).first->second;
-}
-
-// Interns the configuration currently held in tmp_m_ / tmp_seeds_ / tmp_f_.
-HypeEvaluator::ConfigId HypeEvaluator::InternConfig() {
-  uint64_t h = HashCombine(tmp_m_.size(), tmp_f_.size());
-  for (StateId s : tmp_m_) h = HashCombine(h, static_cast<uint64_t>(s));
-  for (char c : tmp_seeds_) h = HashCombine(h, static_cast<uint64_t>(c));
-  for (StateId s : tmp_f_) h = HashCombine(h, static_cast<uint64_t>(s));
-  std::vector<ConfigId>& bucket = config_buckets_[h];
-  for (ConfigId id : bucket) {
-    const Config& c = *configs_[id];
-    if (c.mstates == tmp_m_ && c.seeds == tmp_seeds_ && c.freq == tmp_f_) {
-      return id;
-    }
-  }
-  auto config = std::make_unique<Config>();
-  config->mstates = tmp_m_;
-  config->seeds = tmp_seeds_;
-  config->freq = tmp_f_;
-  config->dead = tmp_m_.empty() && tmp_f_.empty();
-  for (size_t i = 0; i < tmp_m_.size(); ++i) {
-    const automata::NfaState& st = mfa_.nfa[tmp_m_[i]];
-    if (st.afa_entry != kNoState) {
-      config->any_annotated = true;
-      config->annotated.push_back({static_cast<int>(i), st.afa_entry});
-    }
-    if (st.is_final) {
-      config->has_final = true;
-      config->final_mstates.push_back(static_cast<int>(i));
-    }
-  }
-  for (size_t j = 0; j < tmp_f_.size(); ++j) {
-    const AfaState& a = mfa_.afa[tmp_f_[j]];
-    switch (a.kind) {
-      case AfaKind::kFinal:
-        config->finals.push_back(static_cast<int>(j));
-        break;
-      case AfaKind::kTrans:
-        config->ftrans.push_back(
-            {static_cast<int>(j), a.target, a.label, a.wildcard});
-        break;
-      default:
-        config->has_ops = true;
-        config->ops.push_back(static_cast<int>(j));
-        for (StateId o : a.operands) {
-          if (o >= tmp_f_[j]) config->needs_iteration = true;
-        }
-        break;
-    }
-  }
-  ConfigId id = static_cast<ConfigId>(configs_.size());
-  configs_.push_back(std::move(config));
-  bucket.push_back(id);
-  ++stats_.configs_interned;
-  return id;
-}
-
-HypeEvaluator::ConfigId HypeEvaluator::ComputeTransition(ConfigId config,
-                                                         LabelId tree_label,
-                                                         int32_t eff_set) {
-  const Config& cur = *configs_[config];
-
-  // NextNFAStates: label move, then ε-closure; move targets are seeds.
-  tmp_m_.clear();
-  int32_t epoch = ++nfa_epoch_;
-  for (StateId s : cur.mstates) {
-    for (const NfaTransition& t : mfa_.nfa[s].trans) {
-      if (t.wildcard ||
-          (t.label != kNoLabel && binding_[t.label] == tree_label)) {
-        if (nfa_mark_[t.to] != epoch) {
-          nfa_mark_[t.to] = epoch;
-          tmp_m_.push_back(t.to);
-        }
-      }
-    }
-  }
-  size_t num_seeds = tmp_m_.size();
-  for (size_t i = 0; i < tmp_m_.size(); ++i) {
-    for (StateId e : mfa_.nfa[tmp_m_[i]].eps) {
-      if (nfa_mark_[e] != epoch) {
-        nfa_mark_[e] = epoch;
-        tmp_m_.push_back(e);
-      }
-    }
-  }
-  tagged_.clear();
-  for (size_t i = 0; i < tmp_m_.size(); ++i) {
-    tagged_.push_back({tmp_m_[i], i < num_seeds ? char{1} : char{0}});
-  }
-  std::sort(tagged_.begin(), tagged_.end());
-  tmp_seeds_.resize(tagged_.size());
-  for (size_t i = 0; i < tagged_.size(); ++i) {
-    tmp_m_[i] = tagged_[i].first;
-    tmp_seeds_[i] = tagged_[i].second;
-  }
-
-  // NextAFAStates: transition moves, newly activated annotations, operator
-  // closure.
-  tmp_f_.clear();
-  int32_t fepoch = ++afa_epoch_;
-  auto add = [&](StateId s) {
-    if (afa_mark_[s] != fepoch) {
-      afa_mark_[s] = fepoch;
-      tmp_f_.push_back(s);
-    }
-  };
-  for (StateId u : cur.freq) {
-    const AfaState& a = mfa_.afa[u];
-    if (a.kind == AfaKind::kTrans &&
-        (a.wildcard ||
-         (a.label != kNoLabel && binding_[a.label] == tree_label))) {
-      add(a.target);
-    }
-  }
-  for (StateId s : tmp_m_) {
-    if (mfa_.nfa[s].afa_entry != kNoState) add(mfa_.nfa[s].afa_entry);
-  }
-  for (size_t i = 0; i < tmp_f_.size(); ++i) {
-    for (StateId o : mfa_.afa[tmp_f_[i]].operands) add(o);
-  }
-  std::sort(tmp_f_.begin(), tmp_f_.end());
-
-  if (options_.index != nullptr) {
-    const Productive& prod = ProductiveFor(eff_set);
-    size_t w = 0;
-    for (size_t i = 0; i < tmp_m_.size(); ++i) {
-      if (prod.sel[tmp_m_[i]]) {
-        tmp_m_[w] = tmp_m_[i];
-        tmp_seeds_[w] = tmp_seeds_[i];
-        ++w;
-      }
-    }
-    tmp_m_.resize(w);
-    tmp_seeds_.resize(w);
-    RestrictToSeedReachable(&tmp_m_, &tmp_seeds_);
-    std::erase_if(tmp_f_, [&](StateId u) { return !prod.afa_cbt[u]; });
-  }
-  return InternConfig();
-}
-
-HypeEvaluator::ConfigId HypeEvaluator::Transition(ConfigId config,
-                                                  LabelId tree_label,
-                                                  int32_t eff_set) {
-  Config& cur = *configs_[config];
-  if (options_.index == nullptr) {
-    if (cur.next.empty()) cur.next.assign(tree_.labels().size(), -1);
-    ConfigId& slot = cur.next[tree_label];
-    if (slot < 0) slot = ComputeTransition(config, tree_label, eff_set);
-    return slot;
-  }
-  // Indexed modes: per (config, label), a short (label-set, successor) list.
-  if (cur.next_by_eff.empty()) cur.next_by_eff.resize(tree_.labels().size());
-  std::vector<std::pair<int32_t, ConfigId>>& slots = cur.next_by_eff[tree_label];
-  for (const auto& [eff, next] : slots) {
-    if (eff == eff_set) return next;
-  }
-  ConfigId next = ComputeTransition(config, tree_label, eff_set);
-  // `cur` may have been invalidated only if configs_ grew -- the pointed-to
-  // Config is heap-stable (unique_ptr), so `slots` stays valid.
-  slots.emplace_back(eff_set, next);
-  return next;
-}
-
-// One node of the single top-down pass. The node's configuration lives in
-// FrameAt(depth); fvals (aligned with the config's freq) and cans vertices
-// (aligned with its mstates) are left there for the caller.
-//
-// `in_region` says whether cans bookkeeping is active: outside a region no
-// filter guards any run prefix, so final states emit answers directly and no
-// vertices are allocated. A region opens at the first node whose mstates
-// contain an annotated state; its label-move seeds become the region's
-// initial vertices.
-void HypeEvaluator::Visit(CansGraph* cans, xml::NodeId node, int depth,
-                          bool in_region) {
-  ++stats_.elements_visited;
-  Frame& frame = FrameAt(depth);
-  const Config& config = *configs_[frame.config];
-  const std::vector<StateId>& mstates = config.mstates;
-  const std::vector<StateId>& freq = config.freq;
-  stats_.afa_state_requests += static_cast<int64_t>(freq.size());
-
-  bool opens_region = !in_region && config.any_annotated;
-  bool region = in_region || opens_region;
-
-  frame.vertices.clear();
-  if (region) {
-    frame.vertices.resize(mstates.size());
-    for (size_t i = 0; i < mstates.size(); ++i) {
-      // When a region opens here, only the unconditionally-valid entry
-      // points (label-move seeds / the NFA start at the context) may seed
-      // phase two; everything else must be reached through recorded ε-edges
-      // so a deleted guard disconnects what hides behind it.
-      bool initial = opens_region && config.seeds[i] != 0;
-      frame.vertices[i] = cans->AddVertex(initial);
-    }
-    for (size_t i = 0; i < mstates.size(); ++i) {
-      for (StateId e : mfa_.nfa[mstates[i]].eps) {
-        int j = IndexOf(mstates, e);
-        if (j >= 0) cans->AddEdge(frame.vertices[i], frame.vertices[j]);
-      }
-    }
-  }
-
-  frame.fvals.assign(freq.size(), 0);
-
-  for (xml::NodeId c = tree_.first_child(node); c != xml::kNullNode;
-       c = tree_.next_sibling(c)) {
-    if (!tree_.is_element(c)) continue;
-    LabelId cl = tree_.label(c);
-
-    int32_t eff_c = frame.eff_set;
-    if (options_.index != nullptr) {
-      eff_c = options_.index->EffectiveSet(c, frame.eff_set);
-    }
-    ConfigId next = Transition(frame.config, cl, eff_c);
-    if (configs_[next]->dead) continue;  // prune the subtree
-
-    Frame& child = FrameAt(depth + 1);
-    child.config = next;
-    child.eff_set = eff_c;
-    Visit(cans, c, depth + 1, region);
-    const Config& child_config = *configs_[next];
-
-    if (region && !child.vertices.empty()) {
-      // Label edges parent state --label(c)--> child state.
-      for (size_t i = 0; i < mstates.size(); ++i) {
-        for (const NfaTransition& t : mfa_.nfa[mstates[i]].trans) {
-          if (!t.wildcard && (t.label == kNoLabel || binding_[t.label] != cl)) {
-            continue;
-          }
-          int j = IndexOf(child_config.mstates, t.to);
-          if (j >= 0) cans->AddEdge(frame.vertices[i], child.vertices[j]);
-        }
-      }
-    }
-
-    // fstates↑: fold the child's truths into this node's transition states.
-    if (!child_config.freq.empty()) {
-      for (const Config::FreqTrans& ft : config.ftrans) {
-        if (frame.fvals[ft.idx]) continue;
-        if (!ft.wildcard &&
-            (ft.label == kNoLabel || binding_[ft.label] != cl)) {
-          continue;
-        }
-        int k = PosOf(ft.target, child.pos_clock);
-        if (k >= 0 && child.fvals[k]) frame.fvals[ft.idx] = 1;
-      }
-    }
-  }
-
-  // Pop: stamp this node's request positions, evaluate final-state
-  // predicates, then run the same-node operator fixpoint.
-  frame.pos_clock = ++afa_pos_clock_;
-  if (!freq.empty()) {
-    for (size_t j = 0; j < freq.size(); ++j) {
-      afa_pos_[freq[j]] = static_cast<int32_t>(j);
-      afa_pos_stamp_[freq[j]] = frame.pos_clock;
-    }
-    for (int j : config.finals) {
-      frame.fvals[j] =
-          automata::FinalPredHolds(mfa_.afa[freq[j]], tree_, node) ? 1 : 0;
-    }
-    // Operator fixpoint. Operands precede operators in the ascending sweep
-    // except across Kleene-loop back-edges, so one sweep usually suffices;
-    // with back-edges we iterate to the (stratified) fixpoint.
-    bool changed = config.has_ops;
-    while (changed) {
-      changed = false;
-      for (int j : config.ops) {
-        const AfaState& a = mfa_.afa[freq[j]];
-        char v;
-        if (a.kind == AfaKind::kOr) {
-          v = 0;
-          for (StateId o : a.operands) {
-            int k = PosOf(o, frame.pos_clock);
-            if (k >= 0 && frame.fvals[k]) {
-              v = 1;
-              break;
-            }
-          }
-        } else if (a.kind == AfaKind::kAnd) {
-          v = 1;
-          for (StateId o : a.operands) {
-            int k = PosOf(o, frame.pos_clock);
-            if (k < 0 || !frame.fvals[k]) {
-              v = 0;
-              break;
-            }
-          }
-        } else {  // kNot
-          int k = PosOf(a.operands[0], frame.pos_clock);
-          v = (k < 0 || !frame.fvals[k]) ? 1 : 0;
-        }
-        if (v != frame.fvals[j]) {
-          frame.fvals[j] = v;
-          changed = true;
-        }
-      }
-      if (!config.needs_iteration) break;
-    }
-  }
-
-  // Delete vertices whose filter failed; report answers.
-  if (region) {
-    int32_t deleted_epoch = ++nfa_epoch2_;
-    for (auto [i, entry] : config.annotated) {
-      int k = PosOf(entry, frame.pos_clock);
-      if (k < 0 || !frame.fvals[k]) {
-        cans->DeleteVertex(frame.vertices[i]);
-        nfa_mark2_[mstates[i]] = deleted_epoch;
-      }
-    }
-    for (int i : config.final_mstates) {
-      if (nfa_mark2_[mstates[i]] != deleted_epoch) {
-        cans->SetAnswer(frame.vertices[i], node);
-      }
-    }
-  } else if (config.has_final) {
-    direct_answers_.push_back(node);
-  }
-}
+    : tree_(tree), engine_(tree, mfa, options) {}
 
 std::vector<xml::NodeId> HypeEvaluator::Eval(xml::NodeId context) {
-  stats_.elements_visited = 0;
-  stats_.cans_vertices = 0;
-  stats_.cans_edges = 0;
-  stats_.afa_state_requests = 0;
-  direct_answers_.clear();
-
-  // Build the context configuration: ε-closure of the start state; the start
-  // state itself is the only unconditional entry point.
-  tmp_m_ = {mfa_.start};
-  automata::EpsClosure(mfa_, &tmp_m_);
-  tmp_seeds_.assign(tmp_m_.size(), 0);
-  int si = IndexOf(tmp_m_, mfa_.start);
-  if (si >= 0) tmp_seeds_[si] = 1;
-
-  tmp_f_.clear();
-  int32_t fepoch = ++afa_epoch_;
-  auto add = [&](StateId s) {
-    if (afa_mark_[s] != fepoch) {
-      afa_mark_[s] = fepoch;
-      tmp_f_.push_back(s);
-    }
-  };
-  for (StateId s : tmp_m_) {
-    if (mfa_.nfa[s].afa_entry != kNoState) add(mfa_.nfa[s].afa_entry);
+  if (engine_.Start(context)) {
+    HypeEngine* engine = &engine_;
+    RunSharedPass(tree_, engine_.index(), context, {&engine, 1});
   }
-  for (size_t i = 0; i < tmp_f_.size(); ++i) {
-    for (StateId o : mfa_.afa[tmp_f_[i]].operands) add(o);
-  }
-  std::sort(tmp_f_.begin(), tmp_f_.end());
-
-  int32_t eff = 0;
-  if (options_.index != nullptr) {
-    eff = options_.index->SetForContext(tree_, context);
-    const Productive& prod = ProductiveFor(eff);
-    size_t w = 0;
-    for (size_t i = 0; i < tmp_m_.size(); ++i) {
-      if (prod.sel[tmp_m_[i]]) {
-        tmp_m_[w] = tmp_m_[i];
-        tmp_seeds_[w] = tmp_seeds_[i];
-        ++w;
-      }
-    }
-    tmp_m_.resize(w);
-    tmp_seeds_.resize(w);
-    RestrictToSeedReachable(&tmp_m_, &tmp_seeds_);
-    std::erase_if(tmp_f_, [&](StateId u) { return !prod.afa_cbt[u]; });
-  }
-
-  CansGraph cans;
-  ConfigId root_config = InternConfig();
-  if (!configs_[root_config]->dead) {
-    Frame& root = FrameAt(0);
-    root.config = root_config;
-    root.eff_set = eff;
-    Visit(&cans, context, 0, /*in_region=*/false);
-  }
-  stats_.cans_vertices = cans.num_vertices();
-  stats_.cans_edges = cans.num_edges();
-
-  std::vector<xml::NodeId> answers = cans.CollectAnswers();
-  answers.insert(answers.end(), direct_answers_.begin(), direct_answers_.end());
-  std::sort(answers.begin(), answers.end());
-  answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
-  return answers;
+  return engine_.TakeAnswers();
 }
 
 }  // namespace smoqe::hype

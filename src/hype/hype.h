@@ -23,45 +23,23 @@
 // that cannot reach an accepting configuration using only the labels present
 // below a child (OptHyPE / OptHyPE-C); transitions are then memoized per
 // (config, label, label-set).
+//
+// The evaluation state and the traversal live in hype/engine.h (HypeEngine +
+// RunSharedPass, an explicit-stack walk that can drive many engines at
+// once); HypeEvaluator is the single-query front end. For evaluating a batch
+// of queries in one shared pass, see hype/batch_hype.h.
 
 #ifndef SMOQE_HYPE_HYPE_H_
 #define SMOQE_HYPE_HYPE_H_
 
-#include <cstdint>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "automata/mfa.h"
-#include "hype/cans.h"
+#include "hype/engine.h"
 #include "hype/index.h"
 #include "xml/tree.h"
 
 namespace smoqe::hype {
-
-struct EvalStats {
-  int64_t elements_total = 0;
-  int64_t elements_visited = 0;
-  int64_t cans_vertices = 0;
-  int64_t cans_edges = 0;
-  int64_t afa_state_requests = 0;
-  int64_t configs_interned = 0;
-
-  /// Fraction of element nodes never visited (the paper reports 78.2% for
-  /// HyPE and 88% for OptHyPE on its example queries).
-  double PrunedFraction() const {
-    if (elements_total == 0) return 0.0;
-    return 1.0 - static_cast<double>(elements_visited) /
-                     static_cast<double>(elements_total);
-  }
-};
-
-struct HypeOptions {
-  /// When set, enables index-based pruning (OptHyPE / OptHyPE-C depending on
-  /// how the index was built). The index must have been built for the same
-  /// tree.
-  const SubtreeLabelIndex* index = nullptr;
-};
 
 class HypeEvaluator {
  public:
@@ -72,115 +50,11 @@ class HypeEvaluator {
   std::vector<xml::NodeId> Eval(xml::NodeId context);
 
   /// Statistics of the last Eval call.
-  const EvalStats& stats() const { return stats_; }
+  const EvalStats& stats() const { return engine_.stats(); }
 
  private:
-  using StateId = automata::StateId;
-  using ConfigId = int32_t;
-
-  // A hash-consed evaluation configuration: the selecting states occupied at
-  // a node, which of them were entered by the label move itself (seeds), and
-  // the AFA states requested there.
-  struct Config {
-    std::vector<StateId> mstates;  // sorted
-    std::vector<char> seeds;       // aligned with mstates
-    std::vector<StateId> freq;     // sorted
-    bool any_annotated = false;
-    bool dead = false;             // both sets empty: prune the subtree
-    bool has_final = false;
-    bool has_ops = false;          // freq contains AND/OR/NOT states
-    // Precomputed views of freq, so the hot pop path touches only what it
-    // needs: indices of final states, and the transition states with their
-    // move labels (for the fstates↑ fold).
-    struct FreqTrans {
-      int idx;
-      StateId target;
-      LabelId label;
-      bool wildcard;
-    };
-    std::vector<int> finals;
-    std::vector<FreqTrans> ftrans;
-    std::vector<int> ops;          // indices of AND/OR/NOT states in freq
-    // With the split property, operands mostly precede operators in id
-    // order; only Kleene-star loops create back-edges. Without a back-edge a
-    // single ascending sweep reaches the fixpoint.
-    bool needs_iteration = false;
-    // Annotated / final selecting states (indices into mstates).
-    std::vector<std::pair<int, StateId>> annotated;  // (index, afa entry)
-    std::vector<int> final_mstates;
-    // Lazy transition tables. Without an index: one slot per tree label.
-    // With an index: per label, a short list of (label-set id, successor) --
-    // distinct subtree label-sets per (config, label) are few in practice,
-    // so a linear scan beats hashing.
-    std::vector<ConfigId> next;
-    std::vector<std::vector<std::pair<int32_t, ConfigId>>> next_by_eff;
-  };
-
-  // Reusable per-depth scratch for the traversal.
-  struct Frame {
-    ConfigId config = -1;
-    std::vector<char> fvals;                    // aligned with config freq
-    std::vector<CansGraph::VertexId> vertices;  // aligned with config mstates
-    int32_t eff_set = 0;
-    int32_t pos_clock = 0;
-  };
-  Frame& FrameAt(int depth) {
-    if (static_cast<size_t>(depth) < frames_.size()) return *frames_[depth];
-    return GrowFrames(depth);
-  }
-  Frame& GrowFrames(int depth);
-
-  int PosOf(StateId s, int32_t clock) const {
-    return afa_pos_stamp_[s] == clock ? afa_pos_[s] : -1;
-  }
-
-  // Per-(label-set) productivity analysis, memoized for OptHyPE.
-  struct Productive {
-    std::vector<char> sel;
-    std::vector<char> afa_cbt;
-  };
-  const Productive& ProductiveFor(int32_t set_id);
-
-  /// The memoized child transition: configuration reached from `config` when
-  /// descending into an element labeled `tree_label` whose subtree label set
-  /// is `eff_set` (ignored without an index).
-  ConfigId Transition(ConfigId config, LabelId tree_label, int32_t eff_set);
-  ConfigId ComputeTransition(ConfigId config, LabelId tree_label,
-                             int32_t eff_set);
-  ConfigId InternConfig();  // interns the tmp_* scratch triple
-
-  void RestrictToSeedReachable(std::vector<StateId>* mstates,
-                               std::vector<char>* seeds);
-  void Visit(CansGraph* cans, xml::NodeId node, int depth, bool in_region);
-
   const xml::Tree& tree_;
-  const automata::Mfa& mfa_;
-  HypeOptions options_;
-  std::vector<LabelId> binding_;  // MFA label id -> tree label id
-  std::unordered_map<int32_t, Productive> productive_cache_;
-  EvalStats stats_;
-
-  // Configuration store.
-  std::vector<std::unique_ptr<Config>> configs_;
-  std::unordered_map<uint64_t, std::vector<ConfigId>> config_buckets_;
-
-  // Scratch (epoch-marked visited arrays; per-depth frames; intern buffers).
-  std::vector<std::unique_ptr<Frame>> frames_;
-  std::vector<int32_t> nfa_mark_;
-  std::vector<int32_t> nfa_mark2_;
-  std::vector<int32_t> afa_mark_;
-  int32_t nfa_epoch_ = 0;
-  int32_t nfa_epoch2_ = 0;
-  int32_t afa_epoch_ = 0;
-  std::vector<std::pair<StateId, char>> tagged_;
-  std::vector<StateId> reach_work_;
-  std::vector<int32_t> afa_pos_;
-  std::vector<int32_t> afa_pos_stamp_;
-  int32_t afa_pos_clock_ = 0;
-  std::vector<StateId> tmp_m_;
-  std::vector<char> tmp_seeds_;
-  std::vector<StateId> tmp_f_;
-  std::vector<xml::NodeId> direct_answers_;
+  HypeEngine engine_;
 };
 
 }  // namespace smoqe::hype

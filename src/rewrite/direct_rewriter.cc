@@ -1,9 +1,10 @@
 #include "rewrite/direct_rewriter.h"
 
-#include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/hashing.h"
 #include "rewrite/skeleton.h"
 #include "xpath/x_fragment.h"
 
@@ -21,13 +22,15 @@ FilterPtr FalseFilter() {
   return f;
 }
 
+// (filter AST, view type) -> rewritten filter; keys are unordered, so hash.
+using FilterMemo = std::unordered_map<std::pair<const xpath::Filter*, TypeId>,
+                                      FilterPtr, PairHash>;
+
 /// State elimination over the (skeleton x view DTD) product with Xreg-AST
 /// edge weights. `accept` decides which view types may end the path.
 class DirectProduct {
  public:
-  DirectProduct(const view::ViewDef& view,
-                std::map<std::pair<const xpath::Filter*, TypeId>, FilterPtr>*
-                    filter_memo)
+  DirectProduct(const view::ViewDef& view, FilterMemo* filter_memo)
       : view_(view), vdtd_(view.view_dtd()), filter_memo_(*filter_memo) {}
 
   /// Returns the rewritten path, or nullptr when no accepting run exists.
@@ -48,7 +51,7 @@ class DirectProduct {
 
   const view::ViewDef& view_;
   const dtd::Dtd& vdtd_;
-  std::map<std::pair<const xpath::Filter*, TypeId>, FilterPtr>& filter_memo_;
+  FilterMemo& filter_memo_;
 };
 
 StatusOr<PathPtr> DirectProduct::Rewrite(const PathPtr& path, TypeId start_type,
@@ -56,7 +59,7 @@ StatusOr<PathPtr> DirectProduct::Rewrite(const PathPtr& path, TypeId start_type,
   SkeletonNfa skel = internal::BuildSkeleton(path);
 
   // Discover product states reachable from (start, start_type).
-  std::map<std::pair<int, TypeId>, int> node_of;
+  std::unordered_map<std::pair<int, TypeId>, int, PairHash> node_of;
   std::vector<std::pair<int, TypeId>> nodes;  // aligned with node index - 2
   std::vector<std::pair<int, TypeId>> work;
   auto node = [&](int q, TypeId a) {
@@ -217,7 +220,7 @@ StatusOr<xpath::PathPtr> DirectRewrite(const xpath::PathPtr& query,
         "position() in a view query cannot be rewritten: view positions do "
         "not correspond to source positions");
   }
-  std::map<std::pair<const xpath::Filter*, TypeId>, FilterPtr> filter_memo;
+  FilterMemo filter_memo;
   DirectProduct product(view, &filter_memo);
   std::vector<bool> accept(view.view_dtd().num_types(), true);
   SMOQE_ASSIGN_OR_RETURN(

@@ -1,0 +1,60 @@
+#include "rewrite/rewrite_cache.h"
+
+#include <utility>
+
+#include "automata/compiler.h"
+#include "rewrite/rewriter.h"
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+
+namespace smoqe::rewrite {
+
+RewriteCache::RewriteCache(const view::ViewDef* view,
+                           RewriteCacheOptions options)
+    : view_(view), options_(options) {}
+
+StatusOr<std::string> RewriteCache::NormalizeQuery(std::string_view query_text) {
+  SMOQE_ASSIGN_OR_RETURN(xpath::PathPtr parsed, xpath::ParseQuery(query_text));
+  return xpath::ToString(parsed);
+}
+
+StatusOr<std::shared_ptr<const automata::Mfa>> RewriteCache::Get(
+    std::string_view query_text) {
+  SMOQE_ASSIGN_OR_RETURN(xpath::PathPtr parsed, xpath::ParseQuery(query_text));
+  std::string key = xpath::ToString(parsed);
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // most-recent first
+    return lru_.front().mfa;
+  }
+  ++stats_.misses;
+
+  std::shared_ptr<const automata::Mfa> mfa;
+  if (view_ != nullptr) {
+    SMOQE_ASSIGN_OR_RETURN(automata::Mfa rewritten,
+                           RewriteToMfa(parsed, *view_));
+    mfa = std::make_shared<const automata::Mfa>(std::move(rewritten));
+  } else {
+    mfa = std::make_shared<const automata::Mfa>(automata::CompileQuery(parsed));
+  }
+
+  lru_.push_front(Entry{std::move(key), mfa});
+  entries_.emplace(std::string_view(lru_.front().key), lru_.begin());
+
+  if (options_.capacity > 0 && entries_.size() > options_.capacity) {
+    const Entry& oldest = lru_.back();
+    entries_.erase(std::string_view(oldest.key));
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return mfa;
+}
+
+void RewriteCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace smoqe::rewrite

@@ -1,0 +1,90 @@
+// Memoization of the query -> MFA compilation pipeline.
+//
+// The Section-5 rewriting (parse, skeleton construction, product with the
+// view DTD, AFA flattening) is the per-query setup cost of view-based query
+// answering; a server seeing the same query text repeatedly pays it every
+// time. RewriteCache memoizes NORMALIZED query text -> compiled MFA so a
+// repeated query skips parsing, rewriting, and compilation entirely.
+//
+// Keying: the incoming text is parsed and re-printed through the canonical
+// xpath printer, so all spellings of one query share an entry -- whitespace,
+// redundant parentheses, and the '//' sugar (desugared to /(*)*/ at parse
+// time) all normalize away. Lookups by normalized key still need one parse
+// of the incoming text; that is the cheap prefix of the pipeline.
+//
+// Two modes:
+//  * view mode  (view != nullptr): queries are rewritten over the view into
+//    source MFAs (rewrite::RewriteToMfa), the reusable artifact of
+//    view-based answering;
+//  * plain mode (view == nullptr): queries compile directly
+//    (automata::CompileQuery) for querying a document without a view.
+//
+// Entries are shared_ptr<const Mfa>: an evaluator can keep using an MFA
+// after the entry was evicted. Eviction is LRU at `capacity` entries.
+// The cache is not thread-safe; shard or lock externally.
+
+#ifndef SMOQE_REWRITE_REWRITE_CACHE_H_
+#define SMOQE_REWRITE_REWRITE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "automata/mfa.h"
+#include "common/status.h"
+#include "view/view_def.h"
+
+namespace smoqe::rewrite {
+
+struct RewriteCacheOptions {
+  /// Maximum cached MFAs; least-recently-used entries are evicted beyond it.
+  /// 0 means unbounded.
+  size_t capacity = 1024;
+};
+
+struct RewriteCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+};
+
+class RewriteCache {
+ public:
+  /// `view` may be null (plain mode, see above); when set it must outlive
+  /// the cache.
+  explicit RewriteCache(const view::ViewDef* view,
+                        RewriteCacheOptions options = {});
+
+  /// The compiled (rewritten) MFA for `query_text`, from the cache when the
+  /// normalized text was seen before. Parse/rewrite failures are returned
+  /// and not cached.
+  StatusOr<std::shared_ptr<const automata::Mfa>> Get(std::string_view query_text);
+
+  /// Canonical cache key for a query text (exposed for tests/diagnostics).
+  static StatusOr<std::string> NormalizeQuery(std::string_view query_text);
+
+  const RewriteCacheStats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const automata::Mfa> mfa;
+  };
+
+  const view::ViewDef* view_;
+  RewriteCacheOptions options_;
+  RewriteCacheStats stats_;
+  // LRU list, most-recent first; the map points into it.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> entries_;
+};
+
+}  // namespace smoqe::rewrite
+
+#endif  // SMOQE_REWRITE_REWRITE_CACHE_H_

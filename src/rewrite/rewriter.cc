@@ -1,12 +1,13 @@
 #include "rewrite/rewriter.h"
 
 #include <functional>
-#include <map>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "automata/compiler.h"
+#include "common/hashing.h"
 #include "rewrite/skeleton.h"
 #include "xpath/x_fragment.h"
 
@@ -349,11 +350,19 @@ class Rewriter {
   MfaBuilder builder_;
   SkeletonNfa skeleton_;
 
-  std::map<std::pair<int, TypeId>, StateId> product_;
+  // Hash tables: the memo keys (state/type ids, AST pointers, continuation
+  // ids) have no useful order, and the product/path memos sit on the hot
+  // path of every rewrite.
+  std::unordered_map<std::pair<int, TypeId>, StateId, PairHash> product_;
   std::vector<std::pair<int, TypeId>> worklist_;
-  std::map<std::pair<const xpath::Filter*, TypeId>, StateId> filter_memo_;
-  std::map<std::tuple<const xpath::Path*, TypeId, int>, StateId> star_memo_;
-  std::map<std::tuple<const xpath::Path*, TypeId, int>, StateId> path_memo_;
+  std::unordered_map<std::pair<const xpath::Filter*, TypeId>, StateId, PairHash>
+      filter_memo_;
+  std::unordered_map<std::tuple<const xpath::Path*, TypeId, int>, StateId,
+                     TupleHash>
+      star_memo_;
+  std::unordered_map<std::tuple<const xpath::Path*, TypeId, int>, StateId,
+                     TupleHash>
+      path_memo_;
   int next_cont_id_ = 0;
 };
 

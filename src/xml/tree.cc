@@ -60,14 +60,28 @@ std::string Tree::TextOf(NodeId id) const {
 }
 
 bool Tree::HasText(NodeId id, std::string_view value) const {
-  std::string concat;
+  // Allocation-free: single text children (the only case for DTDs in the
+  // paper's normal form) compare directly; concatenation is checked
+  // piecewise against `value`.
+  int text_children = 0;
+  size_t total = 0;
   for (NodeId c = first_child(id); c != kNullNode; c = next_sibling(c)) {
     if (kind(c) == NodeKind::kText) {
       if (text_value(c) == value) return true;
-      concat += text_value(c);
+      ++text_children;
+      total += text_value(c).size();
     }
   }
-  return !concat.empty() && concat == value;
+  if (text_children < 2 || total != value.size() || value.empty()) return false;
+  size_t off = 0;
+  for (NodeId c = first_child(id); c != kNullNode; c = next_sibling(c)) {
+    if (kind(c) == NodeKind::kText) {
+      const std::string& t = text_value(c);
+      if (value.compare(off, t.size(), t) != 0) return false;
+      off += t.size();
+    }
+  }
+  return true;
 }
 
 int32_t Tree::Depth() const {

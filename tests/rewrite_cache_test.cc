@@ -1,0 +1,138 @@
+// RewriteCache: normalized-text keying (hits across spellings), LRU
+// eviction, error propagation, and the cached MFA answering exactly like a
+// freshly rewritten/compiled one.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "automata/compiler.h"
+#include "eval/naive_evaluator.h"
+#include "gen/fixtures.h"
+#include "gen/hospital_generator.h"
+#include "hype/hype.h"
+#include "rewrite/rewrite_cache.h"
+#include "rewrite/rewriter.h"
+#include "xpath/parser.h"
+
+namespace smoqe::rewrite {
+namespace {
+
+xml::Tree Hospital(int patients) {
+  gen::HospitalParams params;
+  params.patients = patients;
+  params.seed = 99;
+  params.heart_disease_prob = 0.3;
+  return gen::GenerateHospital(params);
+}
+
+TEST(RewriteCacheTest, NormalizationMergesSpellings) {
+  RewriteCache cache(nullptr);
+  // Whitespace, redundant parentheses, and the '//' sugar all normalize to
+  // one key: first call misses, the rest hit the same entry.
+  auto a = cache.Get("//diagnosis");
+  auto b = cache.Get("  //  diagnosis ");
+  auto c = cache.Get("(*)*/diagnosis");
+  auto d = cache.Get("(((*)*/diagnosis))");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(a.value().get(), b.value().get());
+  EXPECT_EQ(a.value().get(), c.value().get());
+  EXPECT_EQ(a.value().get(), d.value().get());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 3);
+}
+
+TEST(RewriteCacheTest, NormalizeQueryIsCanonical) {
+  auto k1 = RewriteCache::NormalizeQuery("a / b[c]");
+  auto k2 = RewriteCache::NormalizeQuery("(a)/(b)[c]");
+  ASSERT_TRUE(k1.ok());
+  ASSERT_TRUE(k2.ok());
+  EXPECT_EQ(k1.value(), k2.value());
+  EXPECT_FALSE(RewriteCache::NormalizeQuery("a[[").ok());
+}
+
+TEST(RewriteCacheTest, PlainModeAnswersMatchFreshCompilation) {
+  xml::Tree tree = Hospital(10);
+  RewriteCache cache(nullptr);
+  const char* query = "department/patient[visit/treatment/test]/pname";
+  auto cached = cache.Get(query);
+  ASSERT_TRUE(cached.ok());
+  // Second lookup returns the same MFA from the cache.
+  auto again = cache.Get(query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(cached.value().get(), again.value().get());
+
+  hype::HypeEvaluator eval(tree, *cached.value());
+  auto parsed = xpath::ParseQuery(query);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(eval.Eval(tree.root()),
+            eval::NaiveEvaluator(tree).Eval(parsed.value(), tree.root()));
+}
+
+TEST(RewriteCacheTest, ViewModeAnswersMatchFreshRewrite) {
+  view::ViewDef def = gen::HospitalView();
+  xml::Tree source = Hospital(12);
+  RewriteCache cache(&def);
+  const char* query = "patient[record/diagnosis/text() = 'heart disease']";
+
+  auto cached = cache.Get(query);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(cache.Get(query).ok());
+  EXPECT_EQ(cache.stats().hits, 1);
+
+  auto parsed = xpath::ParseQuery(query);
+  ASSERT_TRUE(parsed.ok());
+  auto fresh = RewriteToMfa(parsed.value(), def);
+  ASSERT_TRUE(fresh.ok());
+
+  hype::HypeEvaluator cached_eval(source, *cached.value());
+  hype::HypeEvaluator fresh_eval(source, fresh.value());
+  EXPECT_EQ(cached_eval.Eval(source.root()), fresh_eval.Eval(source.root()));
+}
+
+TEST(RewriteCacheTest, LruEvictionAtCapacity) {
+  RewriteCacheOptions options;
+  options.capacity = 2;
+  RewriteCache cache(nullptr, options);
+  ASSERT_TRUE(cache.Get("a").ok());
+  ASSERT_TRUE(cache.Get("b").ok());
+  ASSERT_TRUE(cache.Get("a").ok());  // refresh 'a': 'b' is now oldest
+  ASSERT_TRUE(cache.Get("c").ok());  // evicts 'b'
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  ASSERT_TRUE(cache.Get("a").ok());  // still cached
+  EXPECT_EQ(cache.stats().hits, 2);
+  ASSERT_TRUE(cache.Get("b").ok());  // evicted: a fresh miss
+  EXPECT_EQ(cache.stats().misses, 4);
+}
+
+TEST(RewriteCacheTest, ErrorsPropagateAndAreNotCached) {
+  RewriteCache cache(nullptr);
+  EXPECT_FALSE(cache.Get("][").ok());
+  EXPECT_EQ(cache.size(), 0u);
+
+  // View mode: position() is not rewritable; the failure must not poison the
+  // cache for later valid queries.
+  view::ViewDef def = gen::HospitalView();
+  RewriteCache view_cache(&def);
+  EXPECT_FALSE(view_cache.Get("patient[position() = 2]").ok());
+  EXPECT_EQ(view_cache.size(), 0u);
+  EXPECT_TRUE(view_cache.Get("patient/record").ok());
+}
+
+TEST(RewriteCacheTest, ClearResetsEntriesButKeepsStats) {
+  RewriteCache cache(nullptr);
+  ASSERT_TRUE(cache.Get("a/b").ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  ASSERT_TRUE(cache.Get("a/b").ok());
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+}  // namespace
+}  // namespace smoqe::rewrite
