@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the CI smoke benches.
+
+Compares a freshly produced BENCH_*.json against the baseline artifact
+downloaded from main and fails (exit 1) when any matched queries/sec figure
+dropped by more than --tolerance (default 25%).
+
+Understands both smoke formats:
+  * BENCH_throughput.json: {"results": [{"batch", "indexed",
+    "per_query_qps", "batched_qps", ...}]} -- gates batched_qps and
+    per_query_qps per (batch, indexed) configuration;
+  * BENCH_parallel.json: {"solo_qps", "sharded": [{"threads", "qps", ...}],
+    "service": [{"clients", "qps"}]} -- gates solo_qps, qps per thread
+    count, and qps per client count.
+
+A missing/unreadable baseline is not an error (first run on a branch, expired
+artifact): the gate prints a warning and passes, so the pipeline bootstraps
+itself. Smoke runs on shared runners are noisy; the tolerance is deliberately
+loose and only guards against step-function regressions.
+"""
+
+import argparse
+import json
+import sys
+
+
+def extract_metrics(data):
+    """Flattens a smoke JSON into {metric_name: qps}."""
+    metrics = {}
+    for row in data.get("results", []):  # BENCH_throughput.json
+        key = f"batch={row['batch']}/indexed={row['indexed']}"
+        metrics[f"throughput/{key}/batched_qps"] = row["batched_qps"]
+        metrics[f"throughput/{key}/per_query_qps"] = row["per_query_qps"]
+    if "solo_qps" in data:  # BENCH_parallel.json
+        metrics["parallel/solo_qps"] = data["solo_qps"]
+    for row in data.get("sharded", []):
+        metrics[f"parallel/sharded/threads={row['threads']}/qps"] = row["qps"]
+    for row in data.get("service", []):
+        metrics[f"parallel/service/clients={row['clients']}/qps"] = row["qps"]
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional qps drop (0.25 = 25%%)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = extract_metrics(json.load(f))
+    except (OSError, ValueError, KeyError) as e:
+        print(f"WARNING: no usable baseline at {args.baseline} ({e}); "
+              "skipping the regression gate")
+        return 0
+
+    with open(args.current) as f:
+        current = extract_metrics(json.load(f))
+
+    failures = []
+    for name, base_qps in sorted(baseline.items()):
+        if name not in current:
+            print(f"  [gone]  {name} (baseline {base_qps:.0f} qps) -- "
+                  "configuration no longer emitted, not gated")
+            continue
+        cur_qps = current[name]
+        ratio = cur_qps / base_qps if base_qps > 0 else float("inf")
+        status = "OK" if ratio >= 1.0 - args.tolerance else "REGRESSED"
+        print(f"  [{status:>9}] {name}: {base_qps:.0f} -> {cur_qps:.0f} qps "
+              f"({ratio:.1%} of baseline)")
+        if status == "REGRESSED":
+            failures.append(name)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} metric(s) dropped more than "
+              f"{args.tolerance:.0%} below the main baseline:")
+        for name in failures:
+            print(f"  - {name}")
+        return 1
+    print(f"\nPASS: no metric dropped more than {args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

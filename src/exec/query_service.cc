@@ -1,0 +1,234 @@
+#include "exec/query_service.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "exec/sharded_eval.h"
+
+namespace smoqe::exec {
+
+// See the header: one reusable ShardedBatchEvaluator per recent MFA set.
+struct QueryService::CachedEvaluator {
+  std::vector<std::shared_ptr<const automata::Mfa>> mfas;  // pointer-sorted
+  ShardedBatchEvaluator eval;
+  int64_t last_used = 0;
+
+  CachedEvaluator(const xml::Tree& tree,
+                  std::vector<std::shared_ptr<const automata::Mfa>> sorted,
+                  const ShardedOptions& options)
+      : mfas(std::move(sorted)),
+        eval(tree,
+             [this] {
+               std::vector<const automata::Mfa*> ptrs;
+               ptrs.reserve(mfas.size());
+               for (const auto& mfa : mfas) ptrs.push_back(mfa.get());
+               return ptrs;
+             }(),
+             options) {}
+};
+
+namespace {
+
+// Normalized before the dispatcher thread (a later member) can observe it.
+QueryServiceOptions Validated(QueryServiceOptions options) {
+  if (options.max_batch == 0) options.max_batch = 1;
+  return options;
+}
+
+}  // namespace
+
+QueryService::QueryService(const xml::Tree& tree, QueryServiceOptions options)
+    : tree_(tree),
+      options_(Validated(options)),
+      pool_(options_.num_threads),
+      cache_(options_.view, {.capacity = options_.cache_capacity}),
+      dispatcher_([this] { DispatcherLoop(); }) {}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<QueryService::Answer> QueryService::Submit(
+    std::string query_text) {
+  Pending p;
+  p.text = std::move(query_text);
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<Answer> result = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      p.promise.set_value(
+          Status::FailedPrecondition("query service is shutting down"));
+      return result;
+    }
+    ++stats_.queries_submitted;
+    pending_.push_back(std::move(p));
+  }
+  cv_.notify_all();
+  return result;
+}
+
+QueryService::Answer QueryService::Query(std::string query_text) {
+  return Submit(std::move(query_text)).get();
+}
+
+QueryServiceStats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void QueryService::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Admission: hold the batch open until it is full or its oldest entry
+    // has aged out (stop closes it immediately -- drain fast).
+    const auto deadline = pending_.front().enqueued + options_.max_delay;
+    while (!stop_ && pending_.size() < options_.max_batch) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+    std::vector<Pending> batch;
+    const size_t take = std::min(pending_.size(), options_.max_batch);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    ++stats_.batches;
+    stats_.max_batch_seen =
+        std::max(stats_.max_batch_seen, static_cast<int64_t>(batch.size()));
+    lock.unlock();
+    ProcessBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+QueryService::CachedEvaluator& QueryService::EvaluatorFor(
+    std::vector<std::shared_ptr<const automata::Mfa>> sorted_mfas,
+    bool* reused) {
+  ++evaluator_clock_;
+  *reused = false;
+  for (auto& entry : evaluators_) {
+    if (entry->mfas.size() != sorted_mfas.size()) continue;
+    bool equal = true;
+    for (size_t k = 0; k < sorted_mfas.size(); ++k) {
+      if (entry->mfas[k].get() != sorted_mfas[k].get()) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) {
+      entry->last_used = evaluator_clock_;
+      *reused = true;
+      return *entry;
+    }
+  }
+  // Miss: evict the least recently used beyond a small working set. The
+  // evaluators hold per-shard engines, so the cap bounds memory, not
+  // correctness.
+  constexpr size_t kMaxCachedEvaluators = 4;
+  if (evaluators_.size() >= kMaxCachedEvaluators) {
+    size_t lru = 0;
+    for (size_t e = 1; e < evaluators_.size(); ++e) {
+      if (evaluators_[e]->last_used < evaluators_[lru]->last_used) lru = e;
+    }
+    evaluators_.erase(evaluators_.begin() + lru);
+  }
+  ShardedOptions sharded_options;
+  sharded_options.index = options_.index;
+  sharded_options.pool = &pool_;
+  sharded_options.num_shards = options_.num_shards;
+  evaluators_.push_back(std::make_unique<CachedEvaluator>(
+      tree_, std::move(sorted_mfas), sharded_options));
+  evaluators_.back()->last_used = evaluator_clock_;
+  return *evaluators_.back();
+}
+
+void QueryService::ProcessBatch(std::vector<Pending> batch) {
+  // Compile through the cache; group batch entries by compiled MFA so
+  // duplicate queries (same normalized text) are evaluated once. The
+  // shared_ptrs keep evicted entries alive through the pass.
+  std::vector<std::shared_ptr<const automata::Mfa>> mfas;
+  std::vector<std::vector<size_t>> waiters;  // per MFA: batch indices
+  std::unordered_map<const automata::Mfa*, size_t> slot_of;
+  std::vector<std::pair<size_t, Status>> failures;
+  int64_t coalesced = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto compiled = cache_.Get(batch[i].text);
+    if (!compiled.ok()) {
+      failures.emplace_back(i, compiled.status());
+      continue;
+    }
+    std::shared_ptr<const automata::Mfa> mfa = std::move(compiled.value());
+    auto [it, inserted] = slot_of.emplace(mfa.get(), mfas.size());
+    if (inserted) {
+      mfas.push_back(std::move(mfa));
+      waiters.emplace_back();
+    } else {
+      ++coalesced;
+    }
+    waiters[it->second].push_back(i);
+  }
+
+  std::vector<std::vector<xml::NodeId>> answers;
+  bool evaluator_reused = false;
+  if (!mfas.empty()) {
+    // Canonicalize the batch's MFA set by pointer order so repeated query
+    // mixes -- whatever order clients submitted them in -- reuse one warm
+    // evaluator; `order[k]` maps the k-th sorted position back to its slot.
+    std::vector<size_t> order(mfas.size());
+    for (size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return mfas[a].get() < mfas[b].get();
+    });
+    std::vector<std::shared_ptr<const automata::Mfa>> sorted;
+    sorted.reserve(mfas.size());
+    for (size_t k : order) sorted.push_back(mfas[k]);
+
+    CachedEvaluator& cached = EvaluatorFor(std::move(sorted),
+                                           &evaluator_reused);
+    std::vector<std::vector<xml::NodeId>> sorted_answers =
+        cached.eval.EvalAll(tree_.root());
+    answers.resize(mfas.size());
+    for (size_t k = 0; k < order.size(); ++k) {
+      answers[order[k]] = std::move(sorted_answers[k]);
+    }
+  }
+
+  // Account the batch BEFORE resolving any promise: a client whose future
+  // has resolved always finds itself in the counters.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.queries_answered += static_cast<int64_t>(batch.size());
+    stats_.queries_failed += static_cast<int64_t>(failures.size());
+    stats_.coalesced_duplicates += coalesced;
+    stats_.evaluator_reuses += evaluator_reused ? 1 : 0;
+    stats_.cache = cache_.stats();
+  }
+
+  for (auto& [i, status] : failures) {
+    batch[i].promise.set_value(std::move(status));
+  }
+  for (size_t slot = 0; slot < waiters.size(); ++slot) {
+    for (size_t k = 0; k < waiters[slot].size(); ++k) {
+      Pending& p = batch[waiters[slot][k]];
+      if (k + 1 == waiters[slot].size()) {
+        p.promise.set_value(std::move(answers[slot]));
+      } else {
+        p.promise.set_value(answers[slot]);
+      }
+    }
+  }
+}
+
+}  // namespace smoqe::exec

@@ -1,0 +1,145 @@
+// QueryService: the concurrent front-end of the serving spine.
+//
+// One service owns a loaded document, the query → MFA compilation cache
+// (rewrite::RewriteCache -- view-rewriting or plain mode), and the thread
+// pool. Any number of client threads Submit query text and get a future;
+// internally a dispatcher thread coalesces submissions into ADMISSION
+// BATCHES -- a batch closes when it reaches `max_batch` queries or when its
+// oldest entry has waited `max_delay` -- compiles the batch through the
+// cache (duplicate texts in a batch are evaluated once and fanned out), and
+// evaluates it as one sharded shared pass (exec::ShardedBatchEvaluator) over
+// the pool. Answers are bit-identical to a solo HypeEvaluator run of each
+// query, enforced by the randomized multi-client stress suite
+// (tests/exec_service_test.cc).
+//
+// Threading model: clients touch only the pending queue (one mutex);
+// the dispatcher alone touches the cache and the evaluators, so neither
+// needs locking; shard walks fan out over the pool with shard-local engine
+// state. Shutdown drains: every query submitted before the destructor runs
+// is answered.
+
+#ifndef SMOQE_EXEC_QUERY_SERVICE_H_
+#define SMOQE_EXEC_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "hype/index.h"
+#include "rewrite/rewrite_cache.h"
+#include "view/view_def.h"
+#include "xml/tree.h"
+
+namespace smoqe::exec {
+
+struct QueryServiceOptions {
+  /// Non-null: queries are posed against the view and rewritten to source
+  /// MFAs (Section 5); null: queries compile directly against the document.
+  const view::ViewDef* view = nullptr;
+
+  /// Optional subtree-label index over the served document (OptHyPE
+  /// pruning, shared read-only across all shards).
+  const hype::SubtreeLabelIndex* index = nullptr;
+
+  /// Evaluation pool width; 0 = hardware concurrency.
+  int num_threads = 0;
+
+  /// Shard-group target per pass; 0 = twice the pool width.
+  int num_shards = 0;
+
+  /// A batch dispatches as soon as it holds this many queries (0 is
+  /// clamped to 1)...
+  size_t max_batch = 16;
+
+  /// ...or as soon as its oldest query has waited this long.
+  std::chrono::microseconds max_delay{200};
+
+  /// RewriteCache capacity (compiled MFAs kept hot), 0 = unbounded.
+  size_t cache_capacity = 1024;
+};
+
+struct QueryServiceStats {
+  int64_t queries_submitted = 0;
+  int64_t queries_answered = 0;  // includes failures
+  int64_t queries_failed = 0;    // parse/rewrite errors
+  int64_t batches = 0;
+  int64_t max_batch_seen = 0;
+  int64_t coalesced_duplicates = 0;  // same-MFA queries evaluated once
+  int64_t evaluator_reuses = 0;  // batches served by a warm sharded evaluator
+  rewrite::RewriteCacheStats cache;
+};
+
+class QueryService {
+ public:
+  using Answer = StatusOr<std::vector<xml::NodeId>>;
+
+  /// `tree` (and the view/index, when set) must outlive the service.
+  explicit QueryService(const xml::Tree& tree,
+                        QueryServiceOptions options = {});
+
+  /// Drains and answers everything already submitted, then stops.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Thread-safe; callable from any number of client threads. The future
+  /// resolves to the sorted answer-node ids, or to the parse/rewrite error.
+  /// After the destructor has begun, resolves to an error immediately.
+  std::future<Answer> Submit(std::string query_text);
+
+  /// Submit + wait, for single-shot callers.
+  Answer Query(std::string query_text);
+
+  /// Snapshot of the counters (thread-safe).
+  QueryServiceStats stats() const;
+
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  struct Pending {
+    std::string text;
+    std::promise<Answer> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  // A recently used sharded evaluator, keyed by its (pointer-sorted) MFA
+  // set. Steady-state traffic repeats query mixes; reusing the evaluator
+  // keeps every shard's transition tables warm and skips the per-batch
+  // probe/plan work. The entry owns the shared_ptrs so cached MFAs outlive
+  // any RewriteCache eviction. Dispatcher-thread only.
+  struct CachedEvaluator;
+
+  void DispatcherLoop();
+  void ProcessBatch(std::vector<Pending> batch);
+  CachedEvaluator& EvaluatorFor(
+      std::vector<std::shared_ptr<const automata::Mfa>> sorted_mfas,
+      bool* reused);
+
+  const xml::Tree& tree_;
+  QueryServiceOptions options_;
+  common::ThreadPool pool_;
+  rewrite::RewriteCache cache_;  // dispatcher-thread only
+  std::vector<std::unique_ptr<CachedEvaluator>> evaluators_;  // LRU, small
+  int64_t evaluator_clock_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;
+  QueryServiceStats stats_;
+  bool stop_ = false;
+
+  std::thread dispatcher_;  // constructed last, joined first
+};
+
+}  // namespace smoqe::exec
+
+#endif  // SMOQE_EXEC_QUERY_SERVICE_H_

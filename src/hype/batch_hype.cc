@@ -1,5 +1,8 @@
 #include "hype/batch_hype.h"
 
+#include <algorithm>
+#include <cassert>
+
 #include "common/hashing.h"
 
 namespace smoqe::hype {
@@ -95,10 +98,9 @@ int32_t BatchHypeEvaluator::EdgeFor(int32_t state, LabelId label,
   return edge;
 }
 
-void BatchHypeEvaluator::RunJointPass(xml::NodeId context, int32_t root_state) {
+void BatchHypeEvaluator::RunJointPass(xml::NodeId top, int32_t top_eff,
+                                      int32_t root_state) {
   const SubtreeLabelIndex* index = options_.index;
-  int32_t root_eff =
-      index != nullptr ? index->SetForContext(tree_, context) : 0;
 
   auto enter = [&](JointState& st, int32_t id, xml::NodeId node) {
     if (st.visits++ == 0) touched_states_.push_back(id);
@@ -111,11 +113,11 @@ void BatchHypeEvaluator::RunJointPass(xml::NodeId context, int32_t root_state) {
     for (const Member& m : root.members) {
       if (m.framed) engines_[m.engine]->BeginFrames(m.config);
     }
-    enter(root, root_state, context);
+    enter(root, root_state, top);
   }
   std::vector<WalkFrame>& stack = walk_stack_;
   stack.clear();
-  stack.push_back({context, tree_.first_child(context), root_eff, root_state,
+  stack.push_back({top, tree_.first_child(top), top_eff, root_state,
                    states_[root_state].get()});
 
   while (!stack.empty()) {
@@ -155,17 +157,50 @@ void BatchHypeEvaluator::RunJointPass(xml::NodeId context, int32_t root_state) {
 
 std::vector<std::vector<xml::NodeId>> BatchHypeEvaluator::EvalAll(
     xml::NodeId context) {
+  return EvalSubtree(context, context);
+}
+
+std::vector<std::vector<xml::NodeId>> BatchHypeEvaluator::EvalSubtree(
+    xml::NodeId context, xml::NodeId top) {
   pass_stats_ = SharedPassStats{};
+  const SubtreeLabelIndex* index = options_.index;
+
+  // The context→top spine, top-down (empty when top == context), with the
+  // effective subtree-label set at each node (and at top).
+  std::vector<xml::NodeId> path;
+  for (xml::NodeId n = top; n != context; n = tree_.parent(n)) {
+    if (n == xml::kNullNode) {
+      // `top` is not in the subtree of `context`: a caller bug, but keep it
+      // diagnosable rather than undefined (empty answers, loud in debug).
+      assert(false && "EvalSubtree: top must be a descendant of context");
+      return std::vector<std::vector<xml::NodeId>>(engines_.size());
+    }
+    path.push_back(n);
+  }
+  std::reverse(path.begin(), path.end());
+  int32_t eff = index != nullptr ? index->SetForContext(tree_, context) : 0;
+  std::vector<int32_t> path_effs;
+  path_effs.reserve(path.size());
+  for (xml::NodeId n : path) {
+    if (index != nullptr) eff = index->EffectiveSet(n, eff);
+    path_effs.push_back(eff);
+  }
 
   std::vector<Member> root_members;
   for (size_t i = 0; i < engines_.size(); ++i) {
-    int32_t config = engines_[i]->PrepareRoot(context);
-    if (config < 0) continue;  // dead at the context: no answers
-    root_members.push_back({static_cast<uint32_t>(i), config,
-                            !engines_[i]->ConfigSimple(config)});
+    HypeEngine& engine = *engines_[i];
+    int32_t config = engine.PrepareRoot(context);
+    for (size_t k = 0; k < path.size() && config >= 0; ++k) {
+      SuccRef succ =
+          engine.PeekTransition(config, tree_.label(path[k]), path_effs[k]);
+      config = engine.ConfigDead(succ.config) ? -1 : succ.config;
+    }
+    if (config < 0) continue;  // dead at or above top: no answers here
+    root_members.push_back(
+        {static_cast<uint32_t>(i), config, !engine.ConfigSimple(config)});
   }
   if (!root_members.empty()) {
-    RunJointPass(context, InternState(std::move(root_members)));
+    RunJointPass(top, eff, InternState(std::move(root_members)));
   }
 
   // Frameless engines never touched their per-node counters; recover their

@@ -64,6 +64,23 @@ class BatchHypeEvaluator {
   /// sorted answer set of mfas[i] (== HypeEvaluator(tree, *mfas[i]).Eval).
   std::vector<std::vector<xml::NodeId>> EvalAll(xml::NodeId context);
 
+  /// Shard entry point: evaluates every MFA over the subtree rooted at `top`
+  /// only, with each engine entering `top` in the configuration its solo
+  /// pass from `context` would hold there (the memoized transition chain
+  /// along the context→top path; engines dead anywhere on the path
+  /// contribute no answers, exactly like the solo prune).
+  ///
+  /// Result i is the solo answer set of mfas[i] RESTRICTED to the subtree of
+  /// `top` -- provided every configuration on the path strictly above `top`
+  /// is "simple" for that engine (no pending AFA requests, nothing
+  /// annotated), so no filter truth or cans connectivity crosses the subtree
+  /// boundary. Callers (exec::ShardedBatchEvaluator) must check this via the
+  /// engine hooks and route non-simple queries to a whole-tree pass; answers
+  /// AT path nodes above `top` are likewise the caller's to emit.
+  /// EvalSubtree(c, c) == EvalAll(c).
+  std::vector<std::vector<xml::NodeId>> EvalSubtree(xml::NodeId context,
+                                                    xml::NodeId top);
+
   size_t batch_size() const { return engines_.size(); }
 
   /// Per-query statistics of the last EvalAll (identical to what the solo
@@ -114,7 +131,7 @@ class BatchHypeEvaluator {
   int32_t InternState(std::vector<Member> members);
   int32_t EdgeFor(int32_t state, LabelId label, int32_t eff_set);
   int32_t ComputeEdge(int32_t state, LabelId label, int32_t eff_set);
-  void RunJointPass(xml::NodeId context, int32_t root_state);
+  void RunJointPass(xml::NodeId top, int32_t top_eff, int32_t root_state);
 
   const xml::Tree& tree_;
   BatchHypeOptions options_;

@@ -1,0 +1,253 @@
+// exec::QueryService: the concurrent front-end must answer every client
+// exactly what a solo HypeEvaluator run of the same query would -- under
+// randomized multi-threaded submission, admission batching at every
+// threshold, duplicate coalescing, view-mode rewriting, and shutdown drain.
+// Runs under the `concurrency` CTest label (ASan job runs the full suite,
+// TSan job runs this label), per the service's CI gate.
+
+#include "exec/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/compiler.h"
+#include "gen/fixtures.h"
+#include "gen/hospital_generator.h"
+#include "hype/hype.h"
+#include "hype/index.h"
+#include "rewrite/rewriter.h"
+#include "view/view_def.h"
+#include "xpath/parser.h"
+
+namespace smoqe::exec {
+namespace {
+
+using NodeVec = std::vector<xml::NodeId>;
+
+xml::Tree Hospital(int patients, uint64_t seed) {
+  gen::HospitalParams params;
+  params.patients = patients;
+  params.seed = seed;
+  params.heart_disease_prob = 0.3;
+  return gen::GenerateHospital(params);
+}
+
+// Solo-evaluator oracle for a plain (viewless) query over `tree`.
+NodeVec SoloAnswer(const xml::Tree& tree, const std::string& query) {
+  auto parsed = xpath::ParseQuery(query);
+  EXPECT_TRUE(parsed.ok()) << query;
+  automata::Mfa mfa = automata::CompileQuery(parsed.value());
+  hype::HypeEvaluator eval(tree, mfa);
+  return eval.Eval(tree.root());
+}
+
+std::vector<std::string> WorkloadQueries() {
+  return {
+      "department/patient/pname",
+      "department/patient[visit]/pname",
+      "//diagnosis",
+      "//patient[visit/treatment/medication]",
+      "department/patient[visit/treatment/test]/pname",
+      "department/patient/(parent/patient)*"
+      "[visit/treatment/medication/diagnosis/text() = 'heart disease']",
+      "department/patient[not(visit/treatment/test)]",
+      "(department/patient)*[pname/text() = 'P0']/visit",
+      "department/*/visit",
+      "//doctor/specialty",
+      "department/patient[address/city/text() = 'Edinburgh']/pname",
+      "department/patient/visit/treatment/(medication | test)/type",
+  };
+}
+
+TEST(QueryServiceTest, AnswersMatchSoloEvaluation) {
+  xml::Tree tree = Hospital(15, 3);
+  QueryService service(tree, {.num_threads = 2});
+  for (const std::string& q : WorkloadQueries()) {
+    auto answer = service.Query(q);
+    ASSERT_TRUE(answer.ok()) << q;
+    EXPECT_EQ(answer.value(), SoloAnswer(tree, q)) << q;
+  }
+}
+
+TEST(QueryServiceTest, MalformedQueriesFailTheirFutureOnly) {
+  xml::Tree tree = Hospital(5, 9);
+  QueryService service(tree, {.num_threads = 2, .max_batch = 4});
+  auto bad = service.Submit("department/[");
+  auto good = service.Submit("department/patient/pname");
+  auto bad2 = service.Submit("((");
+  auto answer = good.get();
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value(), SoloAnswer(tree, "department/patient/pname"));
+  EXPECT_FALSE(bad.get().ok());
+  EXPECT_FALSE(bad2.get().ok());
+
+  auto stats = service.stats();
+  EXPECT_EQ(stats.queries_failed, 2);
+}
+
+TEST(QueryServiceTest, ViewModeRewritesBeforeEvaluating) {
+  // Queries posed against the view are rewritten to source MFAs and
+  // evaluated over the source document (Section 5).
+  xml::Tree tree = Hospital(10, 17);
+  view::ViewDef def = gen::HospitalView();
+  QueryService service(tree, {.view = &def, .num_threads = 2});
+
+  const std::string query =
+      "patient[(parent/patient)*/record/diagnosis/text() = 'heart disease']";
+  auto answer = service.Query(query);
+  ASSERT_TRUE(answer.ok());
+
+  auto parsed = xpath::ParseQuery(query);
+  ASSERT_TRUE(parsed.ok());
+  auto rewritten = rewrite::RewriteToMfa(parsed.value(), def);
+  ASSERT_TRUE(rewritten.ok());
+  hype::HypeEvaluator solo(tree, rewritten.value());
+  EXPECT_EQ(answer.value(), solo.Eval(tree.root()));
+}
+
+TEST(QueryServiceTest, IndexedServiceMatchesUnindexed) {
+  xml::Tree tree = Hospital(12, 21);
+  hype::SubtreeLabelIndex index =
+      hype::SubtreeLabelIndex::Build(tree, hype::SubtreeLabelIndex::Mode::kFull);
+  QueryService service(tree, {.index = &index, .num_threads = 2});
+  for (const std::string& q : WorkloadQueries()) {
+    auto answer = service.Query(q);
+    ASSERT_TRUE(answer.ok()) << q;
+    EXPECT_EQ(answer.value(), SoloAnswer(tree, q)) << q;
+  }
+}
+
+// The headline stress test: many client threads, randomized query streams,
+// duplicate texts, admission batching under contention -- every future must
+// resolve to the solo answer. (The `concurrency` label runs this under both
+// ASan and TSan in CI.)
+TEST(QueryServiceTest, RandomizedMultiClientStress) {
+  xml::Tree tree = Hospital(25, 31);
+  const std::vector<std::string> queries = WorkloadQueries();
+  std::map<std::string, NodeVec> expected;
+  for (const std::string& q : queries) expected[q] = SoloAnswer(tree, q);
+
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  options.max_batch = 8;
+  options.max_delay = std::chrono::microseconds(500);
+  QueryService service(tree, options);
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 40;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(1000 + c);
+      std::vector<std::pair<std::string, std::future<QueryService::Answer>>>
+          inflight;
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const std::string& q = queries[rng() % queries.size()];
+        inflight.emplace_back(q, service.Submit(q));
+        // Wait in bursts so submissions from different clients interleave
+        // into shared admission batches.
+        if (inflight.size() >= 5) {
+          for (auto& [text, fut] : inflight) {
+            auto answer = fut.get();
+            if (!answer.ok() || answer.value() != expected[text]) {
+              ++failures[c];
+            }
+          }
+          inflight.clear();
+        }
+      }
+      for (auto& [text, fut] : inflight) {
+        auto answer = fut.get();
+        if (!answer.ok() || answer.value() != expected[text]) ++failures[c];
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+
+  auto stats = service.stats();
+  EXPECT_EQ(stats.queries_submitted, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.queries_answered, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.queries_failed, 0);
+  EXPECT_GE(stats.batches, 1);
+  EXPECT_LE(stats.max_batch_seen, 8);
+  EXPECT_EQ(stats.cache.misses, static_cast<int64_t>(queries.size()));
+}
+
+TEST(QueryServiceTest, CoalescesDuplicateQueriesInABatch) {
+  xml::Tree tree = Hospital(8, 41);
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.max_batch = 32;
+  // Generous delay so one batch collects everything submitted below.
+  options.max_delay = std::chrono::milliseconds(200);
+  QueryService service(tree, options);
+
+  const std::string q = "department/patient/pname";
+  const NodeVec expected = SoloAnswer(tree, q);
+  std::vector<std::future<QueryService::Answer>> futures;
+  for (int i = 0; i < 32; ++i) futures.push_back(service.Submit(q));
+  for (auto& f : futures) {
+    auto answer = f.get();
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(answer.value(), expected);
+  }
+  auto stats = service.stats();
+  // All 32 submissions carried the same text; whatever batching happened,
+  // at least one batch held duplicates that were evaluated once.
+  EXPECT_GT(stats.coalesced_duplicates, 0);
+  EXPECT_EQ(stats.cache.misses, 1);
+}
+
+TEST(QueryServiceTest, ShutdownDrainsSubmittedQueries) {
+  xml::Tree tree = Hospital(10, 53);
+  const std::string q = "//diagnosis";
+  const NodeVec expected = SoloAnswer(tree, q);
+  std::vector<std::future<QueryService::Answer>> futures;
+  {
+    QueryServiceOptions options;
+    options.num_threads = 2;
+    options.max_batch = 4;
+    options.max_delay = std::chrono::milliseconds(50);
+    QueryService service(tree, options);
+    for (int i = 0; i < 20; ++i) futures.push_back(service.Submit(q));
+  }  // ~QueryService before most batches could have dispatched
+  for (auto& f : futures) {
+    auto answer = f.get();
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(answer.value(), expected);
+  }
+}
+
+TEST(QueryServiceTest, BatchSizeOneServesImmediately) {
+  xml::Tree tree = Hospital(5, 61);
+  QueryService service(tree, {.num_threads = 1, .max_batch = 1});
+  for (int i = 0; i < 5; ++i) {
+    auto answer = service.Query("department/patient/pname");
+    ASSERT_TRUE(answer.ok());
+  }
+  auto stats = service.stats();
+  EXPECT_GE(stats.batches, 5);
+  // Identical consecutive batches are served by one warm sharded evaluator.
+  EXPECT_GE(stats.evaluator_reuses, 4);
+}
+
+TEST(QueryServiceTest, BatchSizeZeroIsClampedNotSpun) {
+  xml::Tree tree = Hospital(5, 67);
+  QueryService service(tree, {.num_threads = 1, .max_batch = 0});
+  auto answer = service.Query("//diagnosis");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value(), SoloAnswer(tree, "//diagnosis"));
+}
+
+}  // namespace
+}  // namespace smoqe::exec
