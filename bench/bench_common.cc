@@ -66,6 +66,19 @@ const hype::SubtreeLabelIndex& IndexFor(const xml::Tree& tree,
   return *it->second;
 }
 
+const xml::DocPlane& PlaneFor(const xml::Tree& tree) {
+  static auto* cache =
+      new std::map<const xml::Tree*, std::unique_ptr<xml::DocPlane>>();
+  auto it = cache->find(&tree);
+  if (it == cache->end()) {
+    it = cache
+             ->emplace(&tree,
+                       std::make_unique<xml::DocPlane>(xml::DocPlane::Build(tree)))
+             .first;
+  }
+  return *it->second;
+}
+
 namespace {
 
 const automata::Mfa& CompiledQuery(const std::string& query) {
@@ -116,6 +129,7 @@ int64_t RunEngineOnce(Engine engine, const std::string& query,
     case kOptHype:
     case kOptHypeC: {
       hype::HypeOptions options;
+      options.plane = &PlaneFor(tree);  // shared; evaluators are per-call
       if (engine == kOptHype) {
         options.index = &IndexFor(tree, hype::SubtreeLabelIndex::Mode::kFull);
       } else if (engine == kOptHypeC) {

@@ -17,6 +17,7 @@
 
 #include "hype/hype.h"
 #include "hype/index.h"
+#include "xml/doc_plane.h"
 #include "xml/tree.h"
 
 namespace smoqe::bench {
@@ -41,6 +42,10 @@ const xml::Tree& HospitalDoc(int patients);
 /// Cached index for a cached document.
 const hype::SubtreeLabelIndex& IndexFor(const xml::Tree& tree,
                                         hype::SubtreeLabelIndex::Mode mode);
+
+/// Cached columnar plane for a cached document (evaluators constructed per
+/// run share it instead of rebuilding O(N) arrays each).
+const xml::DocPlane& PlaneFor(const xml::Tree& tree);
 
 /// One evaluation of `query` with `engine`; returns the answer count and,
 /// when `stats` is non-null and the engine is HyPE-based, the run statistics.

@@ -142,6 +142,7 @@ void BM_ShardedEval(benchmark::State& state) {
 
   common::ThreadPool pool(threads);
   exec::ShardedOptions options;
+  options.plane = &PlaneFor(tree);
   options.pool = &pool;
   exec::ShardedBatchEvaluator eval(tree, ptrs, options);
   int64_t answers = 0;
@@ -165,7 +166,9 @@ void BM_SoloBaseline(benchmark::State& state) {
   std::vector<automata::Mfa> mfas = CompileWorkload(MakeWorkload(batch));
   std::vector<const automata::Mfa*> ptrs;
   for (const automata::Mfa& mfa : mfas) ptrs.push_back(&mfa);
-  hype::BatchHypeEvaluator eval(tree, ptrs);
+  hype::BatchHypeOptions options;
+  options.plane = &PlaneFor(tree);
+  hype::BatchHypeEvaluator eval(tree, ptrs, options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(eval.EvalAll(tree.root()));
   }
@@ -179,6 +182,7 @@ void BM_Service(benchmark::State& state) {
   const int clients = static_cast<int>(state.range(0));
   const std::vector<std::string> workload = MakeWorkload(64);
   exec::QueryServiceOptions options;
+  options.plane = &PlaneFor(tree);
   options.max_batch = 16;
   options.max_delay = std::chrono::microseconds(200);
   exec::QueryService service(tree, options);
@@ -245,7 +249,9 @@ int WriteJsonSmoke(const std::string& path) {
   for (const automata::Mfa& mfa : mfas) ptrs.push_back(&mfa);
 
   // Solo baseline: the single-threaded batched pass.
-  hype::BatchHypeEvaluator solo(tree, ptrs);
+  hype::BatchHypeOptions solo_options;
+  solo_options.plane = &PlaneFor(tree);
+  hype::BatchHypeEvaluator solo(tree, ptrs, solo_options);
   std::vector<std::vector<xml::NodeId>> expected = solo.EvalAll(tree.root());
   double solo_qps = kBatch / BestSecondsPerRound([&] {
     benchmark::DoNotOptimize(solo.EvalAll(tree.root()));
@@ -267,6 +273,7 @@ int WriteJsonSmoke(const std::string& path) {
   for (int threads : {1, 2, 4, 8}) {
     common::ThreadPool pool(threads);
     exec::ShardedOptions options;
+    options.plane = &PlaneFor(tree);
     options.pool = &pool;
     exec::ShardedBatchEvaluator eval(tree, ptrs, options);
     // Bit-identity gate before timing: the sharded pass must reproduce the
@@ -291,6 +298,7 @@ int WriteJsonSmoke(const std::string& path) {
   first = true;
   for (int clients : {1, 8, 32, 64}) {
     exec::QueryServiceOptions options;
+    options.plane = &PlaneFor(tree);
     options.max_batch = 16;
     options.max_delay = std::chrono::microseconds(200);
     exec::QueryService service(tree, options);
@@ -304,9 +312,36 @@ int WriteJsonSmoke(const std::string& path) {
       std::fclose(out);
       return 1;
     }
-    std::fprintf(out, "%s    {\"clients\": %d, \"qps\": %.1f}",
+    // Snapshot the admission/cache counters of everything this
+    // configuration served: how batches closed, compile-cache efficiency,
+    // same-MFA coalescing, and warm-evaluator reuse.
+    const exec::QueryServiceStats st = service.stats();
+    std::fprintf(out,
+                 "%s    {\"clients\": %d, \"qps\": %.1f, "
+                 "\"batches\": %lld, \"batches_full\": %lld, "
+                 "\"batches_aged\": %lld, \"cache_hits\": %lld, "
+                 "\"cache_misses\": %lld, \"coalesced\": %lld, "
+                 "\"evaluator_reuses\": %lld}",
                  first ? "" : ",\n", clients,
-                 clients * kQueriesPerClient / secs);
+                 clients * kQueriesPerClient / secs,
+                 static_cast<long long>(st.batches),
+                 static_cast<long long>(st.batches_full),
+                 static_cast<long long>(st.batches_aged),
+                 static_cast<long long>(st.cache.hits),
+                 static_cast<long long>(st.cache.misses),
+                 static_cast<long long>(st.coalesced_duplicates),
+                 static_cast<long long>(st.evaluator_reuses));
+    std::printf(
+        "service clients=%d: %lld batches (%lld full, %lld aged), "
+        "rewrite cache %lld hits / %lld misses, %lld coalesced, "
+        "%lld evaluator reuses\n",
+        clients, static_cast<long long>(st.batches),
+        static_cast<long long>(st.batches_full),
+        static_cast<long long>(st.batches_aged),
+        static_cast<long long>(st.cache.hits),
+        static_cast<long long>(st.cache.misses),
+        static_cast<long long>(st.coalesced_duplicates),
+        static_cast<long long>(st.evaluator_reuses));
     first = false;
   }
   std::fprintf(out, "\n  ]\n}\n");

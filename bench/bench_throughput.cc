@@ -173,6 +173,7 @@ void BM_PerQuery(benchmark::State& state) {
 
   hype::HypeOptions options;
   options.index = MaybeIndex(tree, indexed);
+  options.plane = &PlaneFor(tree);
   // Persistent evaluators (warm transition tables), answered one pass each.
   std::vector<std::unique_ptr<hype::HypeEvaluator>> evals;
   for (const automata::Mfa& mfa : mfas) {
@@ -202,6 +203,7 @@ void BM_Batched(benchmark::State& state) {
 
   hype::BatchHypeOptions options;
   options.index = MaybeIndex(tree, indexed);
+  options.plane = &PlaneFor(tree);
   hype::BatchHypeEvaluator eval(tree, ptrs, options);
   int64_t answers = 0;
   for (auto _ : state) {
@@ -298,6 +300,7 @@ int WriteJsonSmoke(const std::string& path) {
     for (int batch : {1, 4, 16, 64}) {
       hype::HypeOptions solo_options;
       solo_options.index = MaybeIndex(tree, indexed);
+      solo_options.plane = &PlaneFor(tree);
       std::vector<std::unique_ptr<hype::HypeEvaluator>> evals;
       std::vector<const automata::Mfa*> ptrs;
       for (int i = 0; i < batch; ++i) {
@@ -307,6 +310,7 @@ int WriteJsonSmoke(const std::string& path) {
       }
       hype::BatchHypeOptions batch_options;
       batch_options.index = solo_options.index;
+      batch_options.plane = solo_options.plane;
       hype::BatchHypeEvaluator batch_eval(tree, ptrs, batch_options);
 
       auto run_per_query = [&] {

@@ -5,13 +5,18 @@ Compares a freshly produced BENCH_*.json against the baseline artifact
 downloaded from main and fails (exit 1) when any matched queries/sec figure
 dropped by more than --tolerance (default 25%).
 
-Understands both smoke formats:
+Understands all three smoke formats:
   * BENCH_throughput.json: {"results": [{"batch", "indexed",
     "per_query_qps", "batched_qps", ...}]} -- gates batched_qps and
     per_query_qps per (batch, indexed) configuration;
   * BENCH_parallel.json: {"solo_qps", "sharded": [{"threads", "qps", ...}],
     "service": [{"clients", "qps"}]} -- gates solo_qps, qps per thread
-    count, and qps per client count.
+    count, and qps per client count;
+  * BENCH_docplane.json: {"workloads": [{"name", "batch_full_qps",
+    "batch_jump_qps", "sharded_baseline_qps", "sharded_jump_qps", ...}]} --
+    gates every qps figure per workload (the >= 1.5x sparse jump-vs-baseline
+    bar itself is enforced inside bench_docplane, after its bit-identity
+    gate).
 
 A missing/unreadable baseline is not an error (first run on a branch, expired
 artifact): the gate prints a warning and passes, so the pipeline bootstraps
@@ -37,6 +42,10 @@ def extract_metrics(data):
         metrics[f"parallel/sharded/threads={row['threads']}/qps"] = row["qps"]
     for row in data.get("service", []):
         metrics[f"parallel/service/clients={row['clients']}/qps"] = row["qps"]
+    for row in data.get("workloads", []):  # BENCH_docplane.json
+        for key in ("batch_full_qps", "batch_jump_qps",
+                    "sharded_baseline_qps", "sharded_jump_qps"):
+            metrics[f"docplane/{row['name']}/{key}"] = row[key]
     return metrics
 
 

@@ -41,6 +41,9 @@ QueryServiceOptions Validated(QueryServiceOptions options) {
 QueryService::QueryService(const xml::Tree& tree, QueryServiceOptions options)
     : tree_(tree),
       options_(Validated(options)),
+      plane_owned_(options_.plane == nullptr ? xml::DocPlane::Build(tree)
+                                             : xml::DocPlane{}),
+      plane_(options_.plane == nullptr ? &plane_owned_ : options_.plane),
       pool_(options_.num_threads),
       cache_(options_.view, {.capacity = options_.cache_capacity}),
       dispatcher_([this] { DispatcherLoop(); }) {}
@@ -105,6 +108,11 @@ void QueryService::DispatcherLoop() {
       pending_.pop_front();
     }
     ++stats_.batches;
+    if (batch.size() >= options_.max_batch) {
+      ++stats_.batches_full;
+    } else {
+      ++stats_.batches_aged;
+    }
     stats_.max_batch_seen =
         std::max(stats_.max_batch_seen, static_cast<int64_t>(batch.size()));
     lock.unlock();
@@ -146,8 +154,10 @@ QueryService::CachedEvaluator& QueryService::EvaluatorFor(
   }
   ShardedOptions sharded_options;
   sharded_options.index = options_.index;
+  sharded_options.plane = plane_;
   sharded_options.pool = &pool_;
   sharded_options.num_shards = options_.num_shards;
+  sharded_options.enable_jump = options_.enable_jump;
   evaluators_.push_back(std::make_unique<CachedEvaluator>(
       tree_, std::move(sorted_mfas), sharded_options));
   evaluators_.back()->last_used = evaluator_clock_;

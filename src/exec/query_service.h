@@ -36,6 +36,7 @@
 #include "hype/index.h"
 #include "rewrite/rewrite_cache.h"
 #include "view/view_def.h"
+#include "xml/doc_plane.h"
 #include "xml/tree.h"
 
 namespace smoqe::exec {
@@ -48,6 +49,14 @@ struct QueryServiceOptions {
   /// Optional subtree-label index over the served document (OptHyPE
   /// pruning, shared read-only across all shards).
   const hype::SubtreeLabelIndex* index = nullptr;
+
+  /// Optional columnar plane of the served document; the service builds and
+  /// owns one when null (one O(N) pass at construction, shared by every
+  /// evaluator it ever creates).
+  const xml::DocPlane* plane = nullptr;
+
+  /// Label-skipping jump mode in the evaluators (hype/batch_hype.h).
+  bool enable_jump = true;
 
   /// Evaluation pool width; 0 = hardware concurrency.
   int num_threads = 0;
@@ -66,11 +75,17 @@ struct QueryServiceOptions {
   size_t cache_capacity = 1024;
 };
 
+/// Counter snapshot returned by QueryService::stats(): submission/answer
+/// totals, admission-batch shape (how batches closed: full vs aged out),
+/// evaluator-cache reuse, and the RewriteCache hit/miss/eviction counters.
+/// bench_parallel prints one per smoke configuration.
 struct QueryServiceStats {
   int64_t queries_submitted = 0;
   int64_t queries_answered = 0;  // includes failures
   int64_t queries_failed = 0;    // parse/rewrite errors
   int64_t batches = 0;
+  int64_t batches_full = 0;  // admission closed by reaching max_batch
+  int64_t batches_aged = 0;  // admission closed by max_delay (or shutdown)
   int64_t max_batch_seen = 0;
   int64_t coalesced_duplicates = 0;  // same-MFA queries evaluated once
   int64_t evaluator_reuses = 0;  // batches served by a warm sharded evaluator
@@ -126,6 +141,8 @@ class QueryService {
 
   const xml::Tree& tree_;
   QueryServiceOptions options_;
+  xml::DocPlane plane_owned_;  // empty when options.plane was provided
+  const xml::DocPlane* plane_;
   common::ThreadPool pool_;
   rewrite::RewriteCache cache_;  // dispatcher-thread only
   std::vector<std::unique_ptr<CachedEvaluator>> evaluators_;  // LRU, small

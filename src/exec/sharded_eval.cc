@@ -23,7 +23,12 @@ void AccumulateRun(hype::EvalStats* into, const hype::EvalStats& add) {
 ShardedBatchEvaluator::ShardedBatchEvaluator(
     const xml::Tree& tree, std::vector<const automata::Mfa*> mfas,
     ShardedOptions options)
-    : tree_(tree), mfas_(std::move(mfas)), options_(options) {
+    : tree_(tree),
+      mfas_(std::move(mfas)),
+      options_(options),
+      plane_owned_(options.plane == nullptr ? xml::DocPlane::Build(tree)
+                                            : xml::DocPlane{}),
+      plane_(options.plane == nullptr ? &plane_owned_ : options.plane) {
   hype::HypeOptions engine_options;
   engine_options.index = options_.index;
   probes_.reserve(mfas_.size());
@@ -39,7 +44,10 @@ ShardedBatchEvaluator::~ShardedBatchEvaluator() = default;
 // children, the heaviest unit is recursively replaced by its children (the
 // replaced node joining the spine) until there are enough units to feed the
 // shard groups. Units keep document order throughout; groups are contiguous
-// unit ranges balanced by subtree element counts.
+// unit ranges balanced by subtree element counts. All sizing comes from the
+// plane's extents -- weighing a subtree is O(1) and enumerating element
+// children is a cursor walk over the preorder arrays, so building a plan no
+// longer pays an O(N) weight pre-pass per context.
 void ShardedBatchEvaluator::BuildPlan(xml::NodeId context) {
   plan_ = Plan{};
   plan_.context = context;
@@ -49,32 +57,32 @@ void ShardedBatchEvaluator::BuildPlan(xml::NodeId context) {
   const int target = options_.num_shards > 0 ? options_.num_shards
                                              : std::max(1, 2 * pool_width);
 
-  // Subtree element counts in one reverse sweep (children follow their
-  // parent in id order, so each node is final before its parent is reached).
-  std::vector<int64_t> weight(tree_.size(), 0);
-  for (xml::NodeId id = tree_.size() - 1; id >= 0; --id) {
-    if (tree_.is_element(id)) weight[id] += 1;
-    xml::NodeId parent = tree_.parent(id);
-    if (parent != xml::kNullNode) weight[parent] += weight[id];
-  }
+  const xml::DocPlane& plane = *plane_;
+  auto weight = [&](int32_t pos) {
+    return static_cast<int64_t>(plane.extent(pos)) + 1;
+  };
+  // Appends the element children of `pos` as units (child positions are
+  // pos + 1, then each sibling one extent past the previous).
+  auto push_child_units = [&](int32_t pos, int spine_idx,
+                              std::vector<Unit>* out) {
+    const int32_t end = plane.end_of(pos);
+    for (int32_t c = pos + 1; c < end; c = plane.end_of(c)) {
+      out->push_back({plane.node_at(c), c, weight(c), spine_idx});
+    }
+  };
+  auto element_children = [&](int32_t pos) {
+    int count = 0;
+    const int32_t end = plane.end_of(pos);
+    for (int32_t c = pos + 1; c < end; c = plane.end_of(c)) ++count;
+    return count;
+  };
 
   const hype::SubtreeLabelIndex* index = options_.index;
   plan_.spine.push_back(
       {context, -1,
        index != nullptr ? index->SetForContext(tree_, context) : 0});
-  for (xml::NodeId c = tree_.first_child(context); c != xml::kNullNode;
-       c = tree_.next_sibling(c)) {
-    if (tree_.is_element(c)) plan_.units.push_back({c, weight[c], 0});
-  }
+  push_child_units(plane.pos_of(context), 0, &plan_.units);
 
-  auto element_children = [&](xml::NodeId n) {
-    int count = 0;
-    for (xml::NodeId c = tree_.first_child(n); c != xml::kNullNode;
-         c = tree_.next_sibling(c)) {
-      if (tree_.is_element(c)) ++count;
-    }
-    return count;
-  };
   while (static_cast<int>(plan_.units.size()) < target) {
     int best = -1;
     for (size_t i = 0; i < plan_.units.size(); ++i) {
@@ -82,7 +90,7 @@ void ShardedBatchEvaluator::BuildPlan(xml::NodeId context) {
       if (best >= 0 && plan_.units[i].weight <= plan_.units[best].weight) {
         continue;
       }
-      if (element_children(plan_.units[i].root) >= 2) {
+      if (element_children(plan_.units[i].pos) >= 2) {
         best = static_cast<int>(i);
       }
     }
@@ -95,10 +103,7 @@ void ShardedBatchEvaluator::BuildPlan(xml::NodeId context) {
              ? index->EffectiveSet(split.root, plan_.spine[split.spine].eff)
              : 0});
     std::vector<Unit> kids;
-    for (xml::NodeId c = tree_.first_child(split.root); c != xml::kNullNode;
-         c = tree_.next_sibling(c)) {
-      if (tree_.is_element(c)) kids.push_back({c, weight[c], spine_idx});
-    }
+    push_child_units(split.pos, spine_idx, &kids);
     plan_.units.erase(plan_.units.begin() + best);
     plan_.units.insert(plan_.units.begin() + best, kids.begin(), kids.end());
   }
@@ -184,6 +189,8 @@ void ShardedBatchEvaluator::ProbeQueries(xml::NodeId context) {
 void ShardedBatchEvaluator::EnsureWorkers() {
   hype::BatchHypeOptions batch_options;
   batch_options.index = options_.index;
+  batch_options.plane = plane_;  // shared read-only across all shard tasks
+  batch_options.enable_jump = options_.enable_jump;
 
   const size_t num_groups =
       sharded_queries_.empty() ? 0 : plan_.groups.size();
@@ -255,6 +262,7 @@ std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAll(
       }
       out.pass.nodes_walked += worker.pass_stats().nodes_walked;
       out.pass.subtrees_skipped += worker.pass_stats().subtrees_skipped;
+      out.pass.positions_jumped += worker.pass_stats().positions_jumped;
     }
     for (size_t s = 0; s < num_sharded; ++s) {
       out.stats[s].elements_total = worker.stats(s).elements_total;
@@ -317,6 +325,7 @@ std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAll(
   for (const GroupOut& g : outs) {
     stats_.pass.nodes_walked += g.pass.nodes_walked;
     stats_.pass.subtrees_skipped += g.pass.subtrees_skipped;
+    stats_.pass.positions_jumped += g.pass.positions_jumped;
   }
   if (!sharded_queries_.empty()) {
     stats_.pass.nodes_walked += static_cast<int64_t>(plan_.spine.size());
@@ -324,6 +333,7 @@ std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAll(
   if (fallback_ != nullptr) {
     stats_.pass.nodes_walked += fallback_->pass_stats().nodes_walked;
     stats_.pass.subtrees_skipped += fallback_->pass_stats().subtrees_skipped;
+    stats_.pass.positions_jumped += fallback_->pass_stats().positions_jumped;
   }
   return results;
 }

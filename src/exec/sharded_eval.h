@@ -37,6 +37,7 @@
 #include "hype/batch_hype.h"
 #include "hype/engine.h"
 #include "hype/index.h"
+#include "xml/doc_plane.h"
 #include "xml/tree.h"
 
 namespace smoqe::exec {
@@ -45,6 +46,12 @@ struct ShardedOptions {
   /// Index-based pruning for every query (shared, immutable, read
   /// concurrently by all shards). Must have been built for the same tree.
   const hype::SubtreeLabelIndex* index = nullptr;
+
+  /// Columnar plane of the served tree (shared, immutable, read
+  /// concurrently by all shards). Built and owned by the evaluator when
+  /// null. The plan partitions on its extents (O(1) subtree sizing instead
+  /// of an O(N) weight pre-pass) and every shard walks it.
+  const xml::DocPlane* plane = nullptr;
 
   /// Pool the shard walks run on. Null runs every shard inline on the
   /// calling thread (useful as a zero-dependency fallback and in tests).
@@ -56,6 +63,10 @@ struct ShardedOptions {
   /// Shard-group target. 0 = twice the pool width (slack so the greedy
   /// contiguous partition and work stealing can smooth unit imbalance).
   int num_shards = 0;
+
+  /// Label-skipping jump mode inside every shard walk (and the fallback);
+  /// see hype/batch_hype.h. Off reproduces the pre-plane behavior.
+  bool enable_jump = true;
 };
 
 struct ShardedStats {
@@ -103,7 +114,8 @@ class ShardedBatchEvaluator {
   };
   struct Unit {
     xml::NodeId root;
-    int64_t weight;  // element count of the subtree
+    int32_t pos;     // plane position of `root`
+    int64_t weight;  // element count of the subtree (plane extent + 1)
     int spine;       // index of the nearest spine ancestor
   };
   struct Plan {
@@ -120,6 +132,8 @@ class ShardedBatchEvaluator {
   const xml::Tree& tree_;
   std::vector<const automata::Mfa*> mfas_;
   ShardedOptions options_;
+  xml::DocPlane plane_owned_;  // empty when options.plane was provided
+  const xml::DocPlane* plane_;
 
   // One probe engine per query: computes the spine configurations, decides
   // shardability, and emits spine-node answers. Probes run only on the

@@ -10,10 +10,17 @@ namespace smoqe::hype {
 BatchHypeEvaluator::BatchHypeEvaluator(const xml::Tree& tree,
                                        std::vector<const automata::Mfa*> mfas,
                                        BatchHypeOptions options)
-    : tree_(tree), options_(options) {
+    : tree_(tree),
+      options_(options),
+      plane_owned_(options.plane == nullptr ? xml::DocPlane::Build(tree)
+                                            : xml::DocPlane{}),
+      plane_(options.plane == nullptr ? &plane_owned_ : options.plane) {
+  assert(plane_->size() == tree.CountElements() &&
+         "plane must mirror the evaluated tree");
   engines_.reserve(mfas.size());
   HypeOptions engine_options;
   engine_options.index = options_.index;
+  engine_options.plane = plane_;  // text-presence prefilter at pop time
   for (const automata::Mfa* mfa : mfas) {
     engines_.push_back(std::make_unique<HypeEngine>(tree, *mfa, engine_options));
   }
@@ -98,9 +105,47 @@ int32_t BatchHypeEvaluator::EdgeFor(int32_t state, LabelId label,
   return edge;
 }
 
+// Derives (once per joint state) whether a frame holding this state may scan
+// by posting list, and with which labels. Jumpable states have only
+// frameless, final-free members: a position whose label is in no member's
+// relevant set is then transparent for the whole batch -- every member
+// self-loops, so the joint state (and with it every joint decision, answer,
+// and prune) is unchanged, and the full DFS would have entered the position
+// with no effect beyond the visit counters. Candidates are entered through
+// the ordinary joint edge of THIS state, which is exactly the edge the full
+// DFS would take at the candidate's transparent parent.
+bool BatchHypeEvaluator::JumpPlanFor(int32_t state) {
+  JointState& st = *states_[state];
+  if (st.jump_ready) return st.jumpable;
+  st.jump_ready = true;
+  if (!st.framed.empty() || !st.frameless_finals.empty()) return false;
+  for (const Member& m : st.members) {
+    std::span<const LabelId> r = engines_[m.engine]->RelevantLabels(m.config);
+    st.jump_labels.insert(st.jump_labels.end(), r.begin(), r.end());
+  }
+  std::sort(st.jump_labels.begin(), st.jump_labels.end());
+  st.jump_labels.erase(
+      std::unique(st.jump_labels.begin(), st.jump_labels.end()),
+      st.jump_labels.end());
+  // Density gate: leaping pays a lower_bound per candidate per label, the
+  // linear scan one table lookup per position. Only jump when the merged
+  // posting mass says most positions will actually be skipped (label-DENSE
+  // states fall back to the full columnar scan; answers are identical
+  // either way, this is purely a cost model).
+  int64_t posting_mass = 0;
+  for (LabelId l : st.jump_labels) {
+    posting_mass += static_cast<int64_t>(plane_->postings(l).size());
+  }
+  st.jumpable = posting_mass * 4 < plane_->size();
+  if (!st.jumpable) st.jump_labels.clear();
+  return st.jumpable;
+}
+
 void BatchHypeEvaluator::RunJointPass(xml::NodeId top, int32_t top_eff,
                                       int32_t root_state) {
   const SubtreeLabelIndex* index = options_.index;
+  const xml::DocPlane& plane = *plane_;
+  const bool jump_allowed = options_.enable_jump && index == nullptr;
 
   auto enter = [&](JointState& st, int32_t id, xml::NodeId node) {
     if (st.visits++ == 0) touched_states_.push_back(id);
@@ -115,33 +160,62 @@ void BatchHypeEvaluator::RunJointPass(xml::NodeId top, int32_t top_eff,
     }
     enter(root, root_state, top);
   }
+  const int32_t top_pos = plane.pos_of(top);
   std::vector<WalkFrame>& stack = walk_stack_;
   stack.clear();
-  stack.push_back({top, tree_.first_child(top), top_eff, root_state,
-                   states_[root_state].get()});
+  stack.push_back({top_pos, plane.end_of(top_pos), top_pos + 1, top_eff,
+                   root_state, states_[root_state].get(),
+                   jump_allowed && JumpPlanFor(root_state)});
 
   while (!stack.empty()) {
-    WalkFrame& top = stack.back();
+    WalkFrame& frame = stack.back();
 
-    xml::NodeId c = top.next_child;
-    while (c != xml::kNullNode && !tree_.is_element(c)) {
-      c = tree_.next_sibling(c);
+    // Locate the next position to enter: the cursor itself (full scan) or
+    // the next posting of a relevant label (jump mode). Jumped-over
+    // positions are transparent -- the joint state holds across them -- so
+    // they are accounted to the state in bulk and distributed to the member
+    // engines' visit counters after the pass, exactly like `visits`.
+    int32_t c = frame.end;
+    if (frame.cursor < frame.end) {
+      if (!frame.jump) {
+        c = frame.cursor;
+      } else {
+        int32_t next = frame.end;
+        for (LabelId l : frame.st->jump_labels) {
+          std::span<const int32_t> p = plane.postings(l);
+          auto it = std::lower_bound(p.begin(), p.end(), frame.cursor);
+          if (it != p.end() && *it < next) next = *it;
+        }
+        int64_t skipped;
+        if (next >= frame.end) {
+          skipped = frame.end - frame.cursor;
+          frame.cursor = frame.end;
+        } else {
+          skipped = next - frame.cursor;
+          frame.cursor = next;
+          c = next;
+        }
+        frame.st->jumped += skipped;
+        pass_stats_.positions_jumped += skipped;
+      }
     }
-    if (c == xml::kNullNode) {
-      for (uint32_t e : top.st->framed) {
-        engines_[e]->ExitNode(top.node);
+
+    if (c >= frame.end) {
+      for (uint32_t e : frame.st->framed) {
+        engines_[e]->ExitNode(plane.node_at(frame.pos));
       }
       stack.pop_back();
       continue;
     }
-    top.next_child = tree_.next_sibling(c);
 
     // Decode the child and resolve its subtree label set once; advance the
     // whole batch with one joint-table lookup.
-    LabelId cl = tree_.label(c);
-    int32_t eff_c =
-        index != nullptr ? index->EffectiveSet(c, top.eff_set) : top.eff_set;
-    const int32_t eid = EdgeFor(top.joint, cl, eff_c);
+    const LabelId cl = plane.label(c);
+    const int32_t eff_c =
+        index != nullptr ? index->EffectiveSet(plane.node_at(c), frame.eff_set)
+                         : frame.eff_set;
+    frame.cursor = plane.end_of(c);
+    const int32_t eid = EdgeFor(frame.joint, cl, eff_c);
     const JointEdge& edge = edges_[eid];
     if (edge.next < 0) {
       ++pass_stats_.subtrees_skipped;  // every engine pruned this subtree
@@ -150,8 +224,9 @@ void BatchHypeEvaluator::RunJointPass(xml::NodeId top, int32_t top_eff,
     for (const auto& [e, succ] : edge.descend) engines_[e]->DescendWith(succ);
     for (const auto& [e, cfg] : edge.begin) engines_[e]->BeginFrames(cfg);
     JointState* next_st = states_[edge.next].get();
-    enter(*next_st, edge.next, c);
-    stack.push_back({c, tree_.first_child(c), eff_c, edge.next, next_st});
+    enter(*next_st, edge.next, plane.node_at(c));
+    stack.push_back({c, plane.end_of(c), c + 1, eff_c, edge.next, next_st,
+                     jump_allowed && JumpPlanFor(edge.next)});
   }
 }
 
@@ -205,13 +280,16 @@ std::vector<std::vector<xml::NodeId>> BatchHypeEvaluator::EvalSubtree(
 
   // Frameless engines never touched their per-node counters; recover their
   // visit totals from the joint states entered by this pass (a frameless
-  // member of a state was live at every node the state was entered at).
+  // member of a state was live at every node the state was entered at, and
+  // at every transparent position jump mode skipped under it -- jumped > 0
+  // only for states whose members are all frameless).
   for (int32_t id : touched_states_) {
     JointState& st = *states_[id];
     for (const Member& m : st.members) {
-      if (!m.framed) engines_[m.engine]->AddVisited(st.visits);
+      if (!m.framed) engines_[m.engine]->AddVisited(st.visits + st.jumped);
     }
     st.visits = 0;
+    st.jumped = 0;
   }
   touched_states_.clear();
 

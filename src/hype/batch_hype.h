@@ -21,6 +21,26 @@
 //     work -- their answers (final states) and visit statistics are
 //     recovered from the joint states themselves.
 //
+// The walk itself iterates a columnar xml::DocPlane (preorder arrays with
+// subtree extents, see the design note in xml/doc_plane.h): descending is a
+// cursor read, skipping a pruned subtree a cursor addition. On top of the
+// plane the driver gains a JUMP MODE (no-index passes only): a joint state
+// whose members are ALL frameless and final-free derives, once, the union of
+// its members' relevant labels (HypeEngine::RelevantLabels -- labels whose
+// transition leaves the member's configuration). Every other position is
+// TRANSPARENT for the whole batch: each member self-loops through it, so the
+// joint state -- and therefore every joint decision -- is unchanged, no
+// answer is emitted, and nothing prunes. The driver therefore lower_bounds
+// the posting lists of the relevant labels and leaps straight to the next
+// candidate position inside the frame's extent; because the joint state at
+// the candidate's (transparent) parent provably equals the frame's state,
+// the candidate is entered through the ordinary memoized joint edge, and no
+// ancestor replay is needed at all -- frameless engines keep no frames to
+// reconstruct. Skipped positions are accounted to the state's `jumped`
+// counter and folded into the members' visit statistics exactly like
+// `visits`, keeping per-engine statistics bit-identical to solo runs (the
+// randomized suite in tests/doc_plane_test.cc pins jump ≡ full-DFS ≡ solo).
+//
 // Per-query answers and statistics are identical to running HypeEvaluator
 // separately by construction; the randomized equivalence suite
 // (tests/batch_hype_test.cc) enforces this across batch sizes and index
@@ -41,6 +61,7 @@
 #include "automata/mfa.h"
 #include "hype/engine.h"
 #include "hype/index.h"
+#include "xml/doc_plane.h"
 #include "xml/tree.h"
 
 namespace smoqe::hype {
@@ -50,6 +71,17 @@ struct BatchHypeOptions {
   /// index lookup per node is shared across queries. Must have been built
   /// for the same tree.
   const SubtreeLabelIndex* index = nullptr;
+
+  /// Columnar plane of the same tree (borrowed, shared read-only). Built
+  /// and owned by the evaluator when null; callers that hold many
+  /// evaluators over one tree (exec::ShardedBatchEvaluator, the service)
+  /// pass a shared plane to avoid per-evaluator rebuilds.
+  const xml::DocPlane* plane = nullptr;
+
+  /// Allows the joint driver's jump mode (see the design note above). Off
+  /// forces the full columnar DFS; answers and per-engine statistics are
+  /// identical either way.
+  bool enable_jump = true;
 };
 
 class BatchHypeEvaluator {
@@ -114,27 +146,39 @@ class BatchHypeEvaluator {
     std::vector<uint32_t> framed;            // engines to ExitNode at pop
     std::vector<uint32_t> frameless_finals;  // engines emitting `node` direct
     int64_t visits = 0;                      // this pass; distributed after
+    int64_t jumped = 0;  // transparent positions skipped under this state
     // Joint transition memo, mirroring the per-engine tables: one slot per
     // tree label, or per (label, subtree-label-set) with an index.
     std::vector<int32_t> edges;
     std::vector<std::vector<std::pair<int32_t, int32_t>>> edges_by_eff;
+    // Jump plan (no-index passes): jumpable iff every member is frameless
+    // and final-free; `jump_labels` is then the sorted union of the
+    // members' relevant labels. Derived lazily at first frame use.
+    bool jump_ready = false;
+    bool jumpable = false;
+    std::vector<LabelId> jump_labels;
   };
 
   struct WalkFrame {
-    xml::NodeId node;
-    xml::NodeId next_child;
+    int32_t pos;     // plane position of this node
+    int32_t end;     // one past the last descendant position
+    int32_t cursor;  // next position to consider inside (pos, end)
     int32_t eff_set;
     int32_t joint;
     JointState* st;  // states_[joint], cached for the per-child hot path
+    bool jump;       // posting-driven scan for this frame
   };
 
   int32_t InternState(std::vector<Member> members);
   int32_t EdgeFor(int32_t state, LabelId label, int32_t eff_set);
   int32_t ComputeEdge(int32_t state, LabelId label, int32_t eff_set);
+  bool JumpPlanFor(int32_t state);
   void RunJointPass(xml::NodeId top, int32_t top_eff, int32_t root_state);
 
   const xml::Tree& tree_;
   BatchHypeOptions options_;
+  xml::DocPlane plane_owned_;  // empty when options.plane was provided
+  const xml::DocPlane* plane_;
   std::vector<std::unique_ptr<HypeEngine>> engines_;
   SharedPassStats pass_stats_;
 

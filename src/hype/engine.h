@@ -24,14 +24,37 @@
 //
 //  * RunSharedPass — the traversal driver: ONE iterative, recursion-free
 //    (explicit-stack) depth-first walk that drives any number of engines in
-//    lockstep. Per tree node the driver decodes the label, iterates element
-//    children, and resolves the subtree-label-index set once, then fans the
-//    result out to every engine still live at that node (tracked by per-node
-//    live lists in a stack arena, so the fan-out costs O(live), not
-//    O(batch)). A subtree is skipped only when EVERY live engine prunes it,
-//    so each engine observes exactly the nodes its solo pass would have
-//    visited — per-engine answers and statistics are identical to
-//    single-query evaluation by construction.
+//    lockstep. The walk iterates a columnar xml::DocPlane (preorder arrays
+//    with subtree extents) instead of chasing first_child/next_sibling: a
+//    frame scans the contiguous position range of its subtree, descending
+//    into a child costs one cursor read, and skipping a pruned subtree is a
+//    single cursor addition (pos += extent + 1). Per position the driver
+//    decodes the label and resolves the subtree-label-index set once, then
+//    fans the result out to every engine still live there (per-node live
+//    lists in a stack arena, so the fan-out costs O(live), not O(batch)). A
+//    subtree is skipped only when EVERY live engine prunes it, so each
+//    engine observes exactly the nodes its solo pass would have visited —
+//    per-engine answers and statistics are identical to single-query
+//    evaluation by construction.
+//
+//    JUMP MODE. Without a subtree-label index, a frame whose live engines
+//    are ALL in a jump-safe state (simple configuration, no final selecting
+//    state, no open cans region) advances by posting list instead of by
+//    position: only labels in the merged RELEVANT set of the live
+//    configurations (RelevantLabels: labels whose memoized transition leaves
+//    the configuration) can change any engine's state, prune, or answer, so
+//    the driver lower_bounds the posting lists of those labels and leaps to
+//    the next candidate position inside the frame's extent. Skipped
+//    positions are TRANSPARENT — every engine self-loops through them
+//    without pruning or answering — so the full DFS would have entered each
+//    one and changed nothing but its visit counter; the driver restores
+//    those counters in bulk (AddVisited) and replays the enter/exit event
+//    stream only for the candidate's ancestors (reconstructed from the
+//    plane's parent/depth/extent arrays), pushing real frames so engine
+//    state, folds, and pops happen exactly as the full DFS would. Answers
+//    and per-engine statistics therefore stay bit-identical to the
+//    full-DFS/solo pass; the randomized jump-equivalence suite
+//    (tests/doc_plane_test.cc) enforces this.
 //
 // The per-node work of the original Visit() is aggressively hoisted into
 // intern time: each Config precomputes its intra-node ε-edge pairs, operator
@@ -66,6 +89,7 @@
 #include "automata/mfa.h"
 #include "hype/cans.h"
 #include "hype/index.h"
+#include "xml/doc_plane.h"
 #include "xml/tree.h"
 
 namespace smoqe::hype {
@@ -92,6 +116,19 @@ struct HypeOptions {
   /// how the index was built). The index must have been built for the same
   /// tree.
   const SubtreeLabelIndex* index = nullptr;
+
+  /// Columnar plane of the same tree (borrowed). Evaluator front-ends
+  /// (HypeEvaluator, BatchHypeEvaluator) build and own one when null and
+  /// hand it down; pass a shared plane to avoid the O(N) rebuild per
+  /// evaluator. The engine never walks, but it uses the plane's
+  /// text-presence bits to short-circuit text() predicates at pop time
+  /// (sound to leave null: predicates are then evaluated via the tree).
+  const xml::DocPlane* plane = nullptr;
+
+  /// Allows the traversal driver to engage jump mode (see the design note
+  /// above). Off forces the full columnar DFS -- equivalence tests and the
+  /// bench baseline use this; answers/statistics are identical either way.
+  bool enable_jump = true;
 };
 
 /// Per-query evaluation state of Algorithm HyPE, driven by RunSharedPass or
@@ -169,6 +206,32 @@ class HypeEngine {
     return c.freq.empty() && !c.any_annotated;
   }
 
+  /// The RELEVANT labels of a live simple configuration in no-index mode:
+  /// tree labels whose memoized child transition leaves `config` (changes
+  /// the configuration, prunes, or reaches final/annotated states). On
+  /// every other label the transition is the identity self-loop, so a node
+  /// carrying one is TRANSPARENT for this engine -- entering it changes
+  /// nothing observable but the visit counter. Jump-mode drivers skip runs
+  /// of transparent positions wholesale (see the design note). Derived once
+  /// per config by probing the full transition row, then cached (sorted).
+  /// Precondition: no index (transitions must not depend on a label set).
+  std::span<const LabelId> RelevantLabels(int32_t config);
+
+  /// True when the driver may skip transparent positions while this engine
+  /// holds `config` at its open frame: simple (self-loop behavior is fully
+  /// config-determined), no final state (no answer at every visited node),
+  /// and outside any cans region (`in_region`, the caller's frame state --
+  /// a region inherited from an annotated ancestor keeps edge-mapping
+  /// composition live even through simple configurations).
+  bool ConfigJumpSafe(int32_t config, bool in_region) const {
+    return !in_region && ConfigSimple(config) && !ConfigHasFinal(config);
+  }
+
+  /// Region status of the engine's innermost open frame (RunSharedPass's
+  /// jump-safety probe). Precondition: depth() >= 0.
+  bool TopFrameInRegion() const { return frames_[depth_]->region; }
+  int32_t TopConfig() const { return frames_[depth_]->config; }
+
  private:
   using StateId = automata::StateId;
   using ConfigId = int32_t;
@@ -221,6 +284,9 @@ class HypeEngine {
     // so a linear scan beats hashing.
     std::vector<SuccRef> next;
     std::vector<std::vector<std::pair<int32_t, SuccRef>>> next_by_eff;
+    // Relevant-label cache for jump mode (sorted; see RelevantLabels).
+    std::vector<LabelId> relevant;
+    bool relevant_ready = false;
   };
 
   // Precomputed per-transition edge data: cans label edges (i in parent
@@ -316,17 +382,22 @@ class HypeEngine {
 struct SharedPassStats {
   int64_t nodes_walked = 0;     // element nodes the shared walk entered
   int64_t subtrees_skipped = 0; // children pruned by every live engine
+  int64_t positions_jumped = 0; // transparent positions skipped by jump mode
 };
 
-/// Drives `engines` through one explicit-stack depth-first pass over `tree`
-/// from `context`. Every engine must have been Start()ed at the same context
-/// and returned true, and must have been built with the same `index` (or
-/// null). Each engine's answers/statistics equal what its solo pass would
-/// produce.
+/// Drives `engines` through one explicit-stack depth-first pass over the
+/// plane of `tree` from `context`. Every engine must have been Start()ed at
+/// the same context and returned true, and must have been built with the
+/// same `index` (or null); `plane` must mirror `tree`. Each engine's
+/// answers/statistics equal what its solo pass would produce, with or
+/// without `enable_jump` (jump engages only without an index, and only at
+/// frames where every live engine is jump-safe).
 SharedPassStats RunSharedPass(const xml::Tree& tree,
+                              const xml::DocPlane& plane,
                               const SubtreeLabelIndex* index,
                               xml::NodeId context,
-                              std::span<HypeEngine* const> engines);
+                              std::span<HypeEngine* const> engines,
+                              bool enable_jump = true);
 
 }  // namespace smoqe::hype
 

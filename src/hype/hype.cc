@@ -2,14 +2,30 @@
 
 namespace smoqe::hype {
 
+namespace {
+
+hype::HypeOptions WithPlane(HypeOptions options, const xml::DocPlane* plane) {
+  options.plane = plane;
+  return options;
+}
+
+}  // namespace
+
 HypeEvaluator::HypeEvaluator(const xml::Tree& tree, const automata::Mfa& mfa,
                              HypeOptions options)
-    : tree_(tree), engine_(tree, mfa, options) {}
+    : tree_(tree),
+      plane_owned_(options.plane == nullptr ? xml::DocPlane::Build(tree)
+                                            : xml::DocPlane{}),
+      plane_(options.plane == nullptr ? &plane_owned_ : options.plane),
+      enable_jump_(options.enable_jump),
+      engine_(tree, mfa, WithPlane(options, plane_)) {}
 
 std::vector<xml::NodeId> HypeEvaluator::Eval(xml::NodeId context) {
+  pass_stats_ = SharedPassStats{};
   if (engine_.Start(context)) {
     HypeEngine* engine = &engine_;
-    RunSharedPass(tree_, engine_.index(), context, {&engine, 1});
+    pass_stats_ = RunSharedPass(tree_, *plane_, engine_.index(), context,
+                                {&engine, 1}, enable_jump_);
   }
   return engine_.TakeAnswers();
 }

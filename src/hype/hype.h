@@ -37,12 +37,15 @@
 #include "automata/mfa.h"
 #include "hype/engine.h"
 #include "hype/index.h"
+#include "xml/doc_plane.h"
 #include "xml/tree.h"
 
 namespace smoqe::hype {
 
 class HypeEvaluator {
  public:
+  /// Builds (and owns) the columnar plane of `tree` unless options.plane
+  /// provides a shared one.
   HypeEvaluator(const xml::Tree& tree, const automata::Mfa& mfa,
                 HypeOptions options = {});
 
@@ -52,9 +55,16 @@ class HypeEvaluator {
   /// Statistics of the last Eval call.
   const EvalStats& stats() const { return engine_.stats(); }
 
+  /// Driver statistics of the last Eval call (jump-mode diagnostics).
+  const SharedPassStats& pass_stats() const { return pass_stats_; }
+
  private:
   const xml::Tree& tree_;
+  xml::DocPlane plane_owned_;        // empty when options.plane was provided
+  const xml::DocPlane* plane_;
+  bool enable_jump_;
   HypeEngine engine_;
+  SharedPassStats pass_stats_;
 };
 
 }  // namespace smoqe::hype

@@ -69,6 +69,7 @@ SubtreeLabelIndex SubtreeLabelIndex::Build(const xml::Tree& tree, Mode mode,
         index.has_entry_[id / 64] |= uint64_t{1} << (id % 64);
       }
     }
+    index.context_memo_ = std::make_shared<ContextMemo>();
   }
   return index;
 }
@@ -76,12 +77,26 @@ SubtreeLabelIndex SubtreeLabelIndex::Build(const xml::Tree& tree, Mode mode,
 int32_t SubtreeLabelIndex::SetForContext(const xml::Tree& tree,
                                          xml::NodeId context) const {
   if (mode_ == Mode::kFull) return per_node_[context];
+  {
+    std::lock_guard<std::mutex> lock(context_memo_->mu);
+    auto it = context_memo_->sets.find(context);
+    if (it != context_memo_->sets.end()) return it->second;
+  }
+  int32_t result = 0;
+  bool found = false;
   for (xml::NodeId n = context; n != xml::kNullNode; n = tree.parent(n)) {
     auto it = sparse_.find(n);
-    if (it != sparse_.end()) return it->second;
+    if (it != sparse_.end()) {
+      result = it->second;
+      found = true;
+      break;
+    }
   }
-  assert(false && "root must be indexed");
-  return 0;
+  assert(found && "root must be indexed");
+  (void)found;
+  std::lock_guard<std::mutex> lock(context_memo_->mu);
+  context_memo_->sets.emplace(context, result);
+  return result;
 }
 
 size_t SubtreeLabelIndex::MemoryBytes() const {

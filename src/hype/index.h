@@ -20,6 +20,8 @@
 #define SMOQE_HYPE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -48,8 +50,11 @@ class SubtreeLabelIndex {
     return sparse_.find(node)->second;
   }
 
-  /// Effective set for an arbitrary evaluation context (walks to the nearest
-  /// indexed ancestor in compressed mode).
+  /// Effective set for an arbitrary evaluation context. In compressed mode
+  /// the nearest-indexed-ancestor walk is memoized per context node (under a
+  /// small mutex -- the call sits on cold paths: once per pass, probe, or
+  /// plan, never per node), so repeated batches over the same contexts pay
+  /// the walk once. Thread-safe; copies of the index share the memo.
   int32_t SetForContext(const xml::Tree& tree, xml::NodeId context) const;
 
   bool Contains(int32_t set_id, LabelId tree_label) const {
@@ -77,6 +82,15 @@ class SubtreeLabelIndex {
   Mode mode() const { return mode_; }
 
  private:
+  // Context -> effective-set memo for the compressed mode's ancestor walk.
+  // Heap-held behind a shared_ptr so the index stays copy/movable (Build
+  // returns by value); mutex-guarded because one index is read concurrently
+  // by every shard.
+  struct ContextMemo {
+    std::mutex mu;
+    std::unordered_map<xml::NodeId, int32_t> sets;
+  };
+
   Mode mode_ = Mode::kFull;
   int num_labels_ = 0;
   int words_ = 0;
@@ -84,6 +98,7 @@ class SubtreeLabelIndex {
   std::vector<int32_t> per_node_;                   // kFull
   std::unordered_map<xml::NodeId, int32_t> sparse_; // kCompressed
   std::vector<uint64_t> has_entry_;                 // kCompressed bitmap
+  std::shared_ptr<ContextMemo> context_memo_;       // kCompressed
 };
 
 }  // namespace smoqe::hype

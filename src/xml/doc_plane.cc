@@ -1,0 +1,106 @@
+#include "xml/doc_plane.h"
+
+#include <cassert>
+
+namespace smoqe::xml {
+
+int32_t DocPlane::Builder::Enter(LabelId label, NodeId node) {
+  const int32_t pos = static_cast<int32_t>(plane_.labels_.size());
+  plane_.labels_.push_back(label);
+  plane_.parent_.push_back(open_.empty() ? -1 : open_.back());
+  plane_.depth_.push_back(static_cast<int32_t>(open_.size()));
+  plane_.extent_.push_back(0);  // fixed up at Exit
+  plane_.node_of_.push_back(node);
+  if ((pos & 63) == 0) plane_.text_bits_.push_back(0);
+  if (label >= static_cast<LabelId>(postings_.size())) {
+    postings_.resize(label + 1);
+  }
+  postings_[label].push_back(pos);
+  open_.push_back(pos);
+  return pos;
+}
+
+void DocPlane::Builder::MarkText() {
+  assert(!open_.empty());
+  const int32_t pos = open_.back();
+  plane_.text_bits_[pos >> 6] |= uint64_t{1} << (pos & 63);
+}
+
+void DocPlane::Builder::Exit() {
+  assert(!open_.empty());
+  const int32_t pos = open_.back();
+  open_.pop_back();
+  plane_.extent_[pos] =
+      static_cast<int32_t>(plane_.labels_.size()) - pos - 1;
+}
+
+DocPlane DocPlane::Builder::Finish(int32_t tree_size, int32_t num_labels) {
+  assert(open_.empty() && "Finish before every Enter was Exited");
+  plane_.pos_of_.assign(tree_size, -1);
+  for (int32_t pos = 0; pos < plane_.size(); ++pos) {
+    plane_.pos_of_[plane_.node_of_[pos]] = pos;
+  }
+
+  // Pack the per-label lists into one contiguous pool. Every position
+  // carries exactly one label, so the lists are pairwise disjoint --
+  // content-interning across labels would never fire; the pool's value is
+  // consolidation (one allocation, dense spans) alone.
+  if (num_labels > static_cast<int32_t>(postings_.size())) {
+    postings_.resize(num_labels);
+  }
+  plane_.posting_ref_.assign(postings_.size(), {0, 0});
+  plane_.posting_pool_.reserve(plane_.labels_.size());
+  for (size_t l = 0; l < postings_.size(); ++l) {
+    const std::vector<int32_t>& list = postings_[l];
+    if (list.empty()) continue;
+    const int32_t offset = static_cast<int32_t>(plane_.posting_pool_.size());
+    plane_.posting_pool_.insert(plane_.posting_pool_.end(), list.begin(),
+                                list.end());
+    plane_.posting_ref_[l] = {offset, static_cast<int32_t>(list.size())};
+  }
+  postings_.clear();
+  return std::move(plane_);
+}
+
+DocPlane DocPlane::Build(const Tree& tree) {
+  Builder builder;
+  if (tree.empty()) return builder.Finish(0, tree.labels().size());
+
+  // Explicit-stack preorder DFS over elements; node insertion order is
+  // irrelevant (generators may interleave subtree construction).
+  std::vector<NodeId> stack;  // elements entered, awaiting exit
+  stack.push_back(tree.root());
+  builder.Enter(tree.label(tree.root()), tree.root());
+  std::vector<NodeId> cursor;  // next child to consider per open element
+  cursor.push_back(tree.first_child(tree.root()));
+  while (!stack.empty()) {
+    NodeId c = cursor.back();
+    while (c != kNullNode && !tree.is_element(c)) {
+      if (tree.kind(c) == NodeKind::kText) builder.MarkText();
+      c = tree.next_sibling(c);
+    }
+    if (c == kNullNode) {
+      builder.Exit();
+      stack.pop_back();
+      cursor.pop_back();
+      continue;
+    }
+    cursor.back() = tree.next_sibling(c);
+    builder.Enter(tree.label(c), c);
+    stack.push_back(c);
+    cursor.push_back(tree.first_child(c));
+  }
+  return builder.Finish(tree.size(), tree.labels().size());
+}
+
+size_t DocPlane::MemoryBytes() const {
+  return labels_.size() * sizeof(LabelId) +
+         parent_.size() * sizeof(int32_t) + depth_.size() * sizeof(int32_t) +
+         extent_.size() * sizeof(int32_t) +
+         text_bits_.size() * sizeof(uint64_t) +
+         node_of_.size() * sizeof(NodeId) + pos_of_.size() * sizeof(int32_t) +
+         posting_pool_.size() * sizeof(int32_t) +
+         posting_ref_.size() * sizeof(std::pair<int32_t, int32_t>);
+}
+
+}  // namespace smoqe::xml
