@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -24,6 +26,28 @@ const char* EngineName(Engine e) {
     case kConceptual: return "Conceptual";
   }
   return "?";
+}
+
+double Seconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double BestSecondsPerRound(const std::function<void()>& fn,
+                           double sample_seconds) {
+  double once = Seconds(fn);
+  int rounds =
+      std::max(1, static_cast<int>(sample_seconds / std::max(once, 1e-9)));
+  double best = 1e100;
+  for (int r = 0; r < 5; ++r) {
+    double t = Seconds([&] {
+      for (int k = 0; k < rounds; ++k) fn();
+    });
+    best = std::min(best, t / rounds);
+  }
+  return best;
 }
 
 int BasePatients() {

@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <initializer_list>
 #include <string>
 
@@ -55,6 +56,15 @@ int64_t RunEngineOnce(Engine engine, const std::string& query,
 /// Registers `figure/engine` benchmarks over the ten-increment size series.
 void RegisterFigure(const std::string& figure, const std::string& query,
                     std::initializer_list<Engine> engines);
+
+/// Wall-clock seconds of one call to `fn` (the self-timed smoke modes).
+double Seconds(const std::function<void()>& fn);
+
+/// Best-of-5 timing of `fn`, each sample batched into enough rounds to run
+/// ~`sample_seconds` (single rounds are a few ms and too noisy to compare).
+/// One shared sampling policy for every --smoqe_json smoke bench.
+double BestSecondsPerRound(const std::function<void()>& fn,
+                           double sample_seconds = 0.1);
 
 }  // namespace smoqe::bench
 

@@ -163,27 +163,6 @@ bool GateAgainstReference(const Reference& ref,
   return true;
 }
 
-double Seconds(const std::function<void()>& fn) {
-  auto t0 = std::chrono::steady_clock::now();
-  fn();
-  auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-// Best-of-5 timing, each sample batched to ~100ms (see bench_throughput).
-double BestSecondsPerRound(const std::function<void()>& fn) {
-  double once = Seconds(fn);
-  int rounds = std::max(1, static_cast<int>(0.1 / std::max(once, 1e-9)));
-  double best = 1e100;
-  for (int r = 0; r < 5; ++r) {
-    double t = Seconds([&] {
-      for (int k = 0; k < rounds; ++k) fn();
-    });
-    best = std::min(best, t / rounds);
-  }
-  return best;
-}
-
 int BenchElements() { return 2000 * BasePatients(); }
 
 int ShardedPoolWidth() {
@@ -266,6 +245,17 @@ struct WorkloadResult {
   double sharded_baseline_qps = 0;
   double sharded_jump_qps = 0;
   double jumped_fraction = 0;  // positions jumped / positions of a full walk
+  // TransitionPlane interning (PR 5): the batch evaluator here runs with
+  // per-engine private planes (the PR 4 shape, one interning universe per
+  // engine), the sharded evaluator with one shared plane per query across
+  // all its shards/probes/fallback. configs_batch is therefore the
+  // single-store total; pre-plane sharding paid ~num_groups times it, the
+  // shared plane pays it once (configs_sharded_cold) and a warm start pays
+  // nothing (configs_sharded_warm_delta == 0, asserted).
+  int64_t configs_batch = 0;
+  int64_t configs_sharded_cold = 0;
+  int64_t configs_sharded_warm_delta = 0;
+  int num_groups = 0;
 };
 
 bool RunWorkload(const xml::Tree& tree, const xml::DocPlane& plane,
@@ -293,6 +283,12 @@ bool RunWorkload(const xml::Tree& tree, const xml::DocPlane& plane,
             jump ? (name + "/batch_jump").c_str()
                  : (name + "/batch_full").c_str())) {
       return false;
+    }
+    if (jump) {
+      out->configs_batch = 0;
+      for (size_t i = 0; i < mfas.size(); ++i) {
+        out->configs_batch += eval.stats(i).configs_interned;
+      }
     }
     *batch_slots[jump ? 1 : 0] = batch / BestSecondsPerRound([&] {
       benchmark::DoNotOptimize(eval.EvalAll(tree.root()));
@@ -324,9 +320,46 @@ bool RunWorkload(const xml::Tree& tree, const xml::DocPlane& plane,
                  : (name + "/sharded_baseline").c_str())) {
       return false;
     }
+    if (jump) {
+      // Cold total across worker engines (attribution of the shared
+      // planes), then the warm-start delta of a second pass: engine
+      // counters are cumulative, so any growth is a fresh insertion.
+      out->num_groups = eval.stats().num_groups;
+      out->configs_sharded_cold = 0;
+      for (size_t i = 0; i < mfas.size(); ++i) {
+        out->configs_sharded_cold += eval.merged_stats(i).configs_interned;
+      }
+      benchmark::DoNotOptimize(eval.EvalAll(tree.root()));
+      int64_t warm_total = 0;
+      for (size_t i = 0; i < mfas.size(); ++i) {
+        warm_total += eval.merged_stats(i).configs_interned;
+      }
+      out->configs_sharded_warm_delta = warm_total - out->configs_sharded_cold;
+    }
     *sharded_slots[jump ? 1 : 0] = batch / BestSecondsPerRound([&] {
       benchmark::DoNotOptimize(eval.EvalAll(tree.root()));
     });
+  }
+
+  // Interning bars (see WorkloadResult): warm sharded starts must insert
+  // nothing, and the cold sharded pass must stay at ~one interning universe
+  // per query -- pre-plane it was ~num_groups of them.
+  if (out->configs_sharded_warm_delta != 0) {
+    std::fprintf(stderr,
+                 "%s: FAIL: warm sharded pass interned %lld new configs\n",
+                 name.c_str(),
+                 static_cast<long long>(out->configs_sharded_warm_delta));
+    return false;
+  }
+  if (out->num_groups >= 2 &&
+      out->configs_sharded_cold * 2 > out->configs_batch * 3) {
+    std::fprintf(
+        stderr,
+        "%s: FAIL: cold sharded interning %lld exceeds 1.5x the single-store "
+        "total %lld (plane sharing regressed toward per-shard stores)\n",
+        name.c_str(), static_cast<long long>(out->configs_sharded_cold),
+        static_cast<long long>(out->configs_batch));
+    return false;
   }
   return true;
 }
@@ -365,16 +398,27 @@ int WriteJsonSmoke(const std::string& path) {
                  "\"batch_jump_qps\": %.1f, \"sharded_baseline_qps\": %.1f, "
                  "\"sharded_jump_qps\": %.1f, "
                  "\"speedup_jump_vs_sharded_baseline\": %.2f, "
-                 "\"jumped_fraction\": %.4f}%s\n",
+                 "\"jumped_fraction\": %.4f, "
+                 "\"configs_interned_batch\": %lld, "
+                 "\"configs_interned_sharded_cold\": %lld, "
+                 "\"configs_interned_sharded_warm_delta\": %lld, "
+                 "\"shard_groups\": %d}%s\n",
                  r.name.c_str(), r.batch_full_qps, r.batch_jump_qps,
                  r.sharded_baseline_qps, r.sharded_jump_qps, speedup,
-                 r.jumped_fraction, i + 1 < results.size() ? "," : "");
+                 r.jumped_fraction,
+                 static_cast<long long>(r.configs_batch),
+                 static_cast<long long>(r.configs_sharded_cold),
+                 static_cast<long long>(r.configs_sharded_warm_delta),
+                 r.num_groups, i + 1 < results.size() ? "," : "");
     std::printf(
         "%-13s batch %.0f -> %.0f qps, sharded %.0f -> %.0f qps "
-        "(jump x%.2f vs PR3 baseline, %.1f%% positions jumped)\n",
+        "(jump x%.2f vs PR3 baseline, %.1f%% positions jumped; "
+        "%d groups intern %lld configs once, warm delta %lld)\n",
         r.name.c_str(), r.batch_full_qps, r.batch_jump_qps,
         r.sharded_baseline_qps, r.sharded_jump_qps, speedup,
-        100.0 * r.jumped_fraction);
+        100.0 * r.jumped_fraction, r.num_groups,
+        static_cast<long long>(r.configs_sharded_cold),
+        static_cast<long long>(r.configs_sharded_warm_delta));
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

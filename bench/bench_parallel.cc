@@ -219,27 +219,6 @@ void RegisterAll() {
 
 // ---- --smoqe_json smoke mode ----
 
-double Seconds(const std::function<void()>& fn) {
-  auto t0 = std::chrono::steady_clock::now();
-  fn();
-  auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-// Best-of-5 timing, each sample batched to ~100ms (see bench_throughput).
-double BestSecondsPerRound(const std::function<void()>& fn) {
-  double once = Seconds(fn);
-  int rounds = std::max(1, static_cast<int>(0.1 / std::max(once, 1e-9)));
-  double best = 1e100;
-  for (int r = 0; r < 5; ++r) {
-    double t = Seconds([&] {
-      for (int k = 0; k < rounds; ++k) fn();
-    });
-    best = std::min(best, t / rounds);
-  }
-  return best;
-}
-
 int WriteJsonSmoke(const std::string& path) {
   const xml::Tree& tree = HospitalDoc(BasePatients());
   constexpr int kBatch = 64;

@@ -240,7 +240,7 @@ void BM_RewriteCached(benchmark::State& state) {
   (void)cache.Get(query);  // warm the single entry
   for (auto _ : state) {
     auto mfa = cache.Get(query);
-    benchmark::DoNotOptimize(mfa.value()->nfa.size());
+    benchmark::DoNotOptimize(mfa.value().mfa->nfa.size());
   }
 }
 
@@ -259,28 +259,6 @@ void RegisterAll() {
 }
 
 // ---- --smoqe_json smoke mode ----
-
-double Seconds(const std::function<void()>& fn) {
-  auto t0 = std::chrono::steady_clock::now();
-  fn();
-  auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(t1 - t0).count();
-}
-
-// Best-of-5 timing of `fn`, each sample batched into enough rounds to run
-// ~100ms (single rounds are a few ms and too noisy to compare).
-double BestSecondsPerRound(const std::function<void()>& fn) {
-  double once = Seconds(fn);
-  int rounds = std::max(1, static_cast<int>(0.1 / std::max(once, 1e-9)));
-  double best = 1e100;
-  for (int r = 0; r < 5; ++r) {
-    double t = Seconds([&] {
-      for (int k = 0; k < rounds; ++k) fn();
-    });
-    best = std::min(best, t / rounds);
-  }
-  return best;
-}
 
 int WriteJsonSmoke(const std::string& path) {
   const xml::Tree& tree = HospitalDoc(BasePatients());

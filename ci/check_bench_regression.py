@@ -3,9 +3,11 @@
 
 Compares a freshly produced BENCH_*.json against the baseline artifact
 downloaded from main and fails (exit 1) when any matched queries/sec figure
-dropped by more than --tolerance (default 25%).
+dropped by more than --tolerance (default 25%), or when a gated COUNTER grew
+(counters gate work done, not wall time: they are deterministic, so the
+tolerance is zero by default).
 
-Understands all three smoke formats:
+Understands all four smoke formats:
   * BENCH_throughput.json: {"results": [{"batch", "indexed",
     "per_query_qps", "batched_qps", ...}]} -- gates batched_qps and
     per_query_qps per (batch, indexed) configuration;
@@ -13,15 +15,20 @@ Understands all three smoke formats:
     "service": [{"clients", "qps"}]} -- gates solo_qps, qps per thread
     count, and qps per client count;
   * BENCH_docplane.json: {"workloads": [{"name", "batch_full_qps",
-    "batch_jump_qps", "sharded_baseline_qps", "sharded_jump_qps", ...}]} --
-    gates every qps figure per workload (the >= 1.5x sparse jump-vs-baseline
-    bar itself is enforced inside bench_docplane, after its bit-identity
-    gate).
+    "batch_jump_qps", "sharded_baseline_qps", "sharded_jump_qps",
+    "configs_interned_*", ...}]} -- gates every qps figure per workload
+    (the >= 1.5x sparse jump-vs-baseline bar itself is enforced inside
+    bench_docplane, after its bit-identity gate) and the interning counters
+    (warm-start interning must not grow vs main: plane sharing must keep
+    re-runs at zero insertions);
+  * BENCH_rewrite.json: {"compiles_per_sec", "cache_hits_per_sec",
+    "cold_starts_per_sec", "warm_starts_per_sec", "counters": {...}} --
+    gates the four rates plus the configs_interned counters.
 
 A missing/unreadable baseline is not an error (first run on a branch, expired
 artifact): the gate prints a warning and passes, so the pipeline bootstraps
-itself. Smoke runs on shared runners are noisy; the tolerance is deliberately
-loose and only guards against step-function regressions.
+itself. Smoke runs on shared runners are noisy; the qps tolerance is
+deliberately loose and only guards against step-function regressions.
 """
 
 import argparse
@@ -30,7 +37,7 @@ import sys
 
 
 def extract_metrics(data):
-    """Flattens a smoke JSON into {metric_name: qps}."""
+    """Flattens a smoke JSON into {metric_name: qps} (higher is better)."""
     metrics = {}
     for row in data.get("results", []):  # BENCH_throughput.json
         key = f"batch={row['batch']}/indexed={row['indexed']}"
@@ -46,7 +53,26 @@ def extract_metrics(data):
         for key in ("batch_full_qps", "batch_jump_qps",
                     "sharded_baseline_qps", "sharded_jump_qps"):
             metrics[f"docplane/{row['name']}/{key}"] = row[key]
+    if "compiles_per_sec" in data:  # BENCH_rewrite.json
+        for key in ("compiles_per_sec", "cache_hits_per_sec",
+                    "cold_starts_per_sec", "warm_starts_per_sec"):
+            metrics[f"rewrite/{key}"] = data[key]
     return metrics
+
+
+def extract_counters(data):
+    """Flattens gated counters into {name: value} (lower is better; growth
+    beyond --counter-tolerance fails). Counters are work counts, not
+    timings, so they are stable across runners."""
+    counters = {}
+    for name, value in data.get("counters", {}).items():  # BENCH_rewrite.json
+        counters[f"rewrite/{name}"] = value
+    for row in data.get("workloads", []):  # BENCH_docplane.json
+        for key in ("configs_interned_sharded_cold",
+                    "configs_interned_sharded_warm_delta"):
+            if key in row:
+                counters[f"docplane/{row['name']}/{key}"] = row[key]
+    return counters
 
 
 def main():
@@ -55,18 +81,25 @@ def main():
     parser.add_argument("--current", required=True)
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional qps drop (0.25 = 25%%)")
+    parser.add_argument("--counter-tolerance", type=float, default=0.0,
+                        help="allowed fractional counter growth (0 = any "
+                             "increase fails)")
     args = parser.parse_args()
 
     try:
         with open(args.baseline) as f:
-            baseline = extract_metrics(json.load(f))
+            baseline_data = json.load(f)
+        baseline = extract_metrics(baseline_data)
+        baseline_counters = extract_counters(baseline_data)
     except (OSError, ValueError, KeyError) as e:
         print(f"WARNING: no usable baseline at {args.baseline} ({e}); "
               "skipping the regression gate")
         return 0
 
     with open(args.current) as f:
-        current = extract_metrics(json.load(f))
+        current_data = json.load(f)
+    current = extract_metrics(current_data)
+    current_counters = extract_counters(current_data)
 
     failures = []
     for name, base_qps in sorted(baseline.items()):
@@ -82,13 +115,30 @@ def main():
         if status == "REGRESSED":
             failures.append(name)
 
+    # Counter gate: deterministic work counts must not GROW vs main. A warm
+    # start that suddenly interns configurations again means the shared
+    # transition plane stopped being shared.
+    for name, base_count in sorted(baseline_counters.items()):
+        if name not in current_counters:
+            print(f"  [gone]  {name} (baseline counter {base_count}) -- "
+                  "no longer emitted, not gated")
+            continue
+        cur_count = current_counters[name]
+        limit = base_count * (1.0 + args.counter_tolerance)
+        status = "OK" if cur_count <= limit else "GREW"
+        print(f"  [{status:>9}] {name}: {base_count} -> {cur_count} "
+              "(counter, must not grow)")
+        if status == "GREW":
+            failures.append(name)
+
     if failures:
-        print(f"\nFAIL: {len(failures)} metric(s) dropped more than "
-              f"{args.tolerance:.0%} below the main baseline:")
+        print(f"\nFAIL: {len(failures)} metric(s)/counter(s) regressed vs "
+              "the main baseline:")
         for name in failures:
             print(f"  - {name}")
         return 1
-    print(f"\nPASS: no metric dropped more than {args.tolerance:.0%}")
+    print(f"\nPASS: no qps metric dropped more than {args.tolerance:.0%} and "
+          "no gated counter grew")
     return 0
 
 

@@ -1,0 +1,176 @@
+#include "automata/compiled_mfa.h"
+
+#include <algorithm>
+
+namespace smoqe::automata {
+
+namespace {
+
+// Iterative Tarjan over the AFA dependency graph (operator -> operands,
+// transition -> target). Components are emitted dependencies-first -- every
+// component an operator depends on is numbered before the operator's own --
+// which is exactly the stratified evaluation order the split property
+// promises. Iterative so pathological filter nesting cannot overflow the C++
+// stack.
+struct AfaScc {
+  std::vector<int32_t> scc;   // component id per state, emission order
+  std::vector<int32_t> rank;  // unique per state, component-major
+};
+
+AfaScc ComputeAfaScc(const CompiledMfa& cm) {
+  const int n = cm.num_afa_states();
+  AfaScc out;
+  out.scc.assign(n, -1);
+  out.rank.assign(n, 0);
+  std::vector<int32_t> low(n, 0), disc(n, -1);
+  std::vector<char> on_stack(n, 0);
+  std::vector<StateId> stack;
+  int32_t timer = 0;
+  int32_t num_scc = 0;
+  int32_t next_rank = 0;
+
+  auto successors = [&](StateId s) -> std::span<const StateId> {
+    if (cm.afa_kind[s] == AfaKind::kTrans) {
+      return {&cm.afa_target[s], cm.afa_target[s] == kNoState ? size_t{0}
+                                                              : size_t{1}};
+    }
+    return cm.OperandsOf(s);
+  };
+
+  struct Frame {
+    StateId s;
+    size_t next_child;
+  };
+  std::vector<Frame> dfs;
+  for (StateId root = 0; root < n; ++root) {
+    if (disc[root] >= 0) continue;
+    dfs.push_back({root, 0});
+    disc[root] = low[root] = timer++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      std::span<const StateId> succ = successors(f.s);
+      if (f.next_child < succ.size()) {
+        StateId t = succ[f.next_child++];
+        if (disc[t] < 0) {
+          disc[t] = low[t] = timer++;
+          stack.push_back(t);
+          on_stack[t] = 1;
+          dfs.push_back({t, 0});
+        } else if (on_stack[t]) {
+          low[f.s] = std::min(low[f.s], disc[t]);
+        }
+        continue;
+      }
+      // All children done: close the component if f.s is its root, then
+      // fold low into the parent.
+      if (low[f.s] == disc[f.s]) {
+        int32_t id = num_scc++;
+        StateId v;
+        do {
+          v = stack.back();
+          stack.pop_back();
+          on_stack[v] = 0;
+          out.scc[v] = id;
+          out.rank[v] = next_rank++;
+        } while (v != f.s);
+      }
+      StateId done = f.s;
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        low[dfs.back().s] = std::min(low[dfs.back().s], low[done]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CompiledMfa CompiledMfa::Build(const Mfa& mfa) {
+  CompiledMfa cm;
+  const int n = mfa.num_nfa_states();
+  const int m = mfa.num_afa_states();
+  cm.start = mfa.start;
+
+  // ---- selecting NFA ----
+  cm.trans_begin.assign(n + 1, 0);
+  cm.wild_begin.assign(n + 1, 0);
+  cm.eps_begin.assign(n + 1, 0);
+  cm.closure_begin.assign(n + 1, 0);
+  cm.nfa_final.assign((n + 63) / 64 + 1, 0);
+  cm.afa_entry.assign(n, kNoState);
+  for (StateId s = 0; s < n; ++s) {
+    const NfaState& st = mfa.nfa[s];
+    cm.afa_entry[s] = st.afa_entry;
+    if (st.is_final) cm.nfa_final[s >> 6] |= uint64_t{1} << (s & 63);
+    cm.trans_begin[s + 1] = cm.trans_begin[s];
+    cm.wild_begin[s + 1] = cm.wild_begin[s];
+    for (const NfaTransition& t : st.trans) {
+      if (t.wildcard) {
+        cm.wild.push_back(t.to);
+        ++cm.wild_begin[s + 1];
+      } else {
+        cm.trans.push_back({t.label, t.to});
+        ++cm.trans_begin[s + 1];
+      }
+    }
+    cm.eps_begin[s + 1] = cm.eps_begin[s] + static_cast<int32_t>(st.eps.size());
+    cm.eps.insert(cm.eps.end(), st.eps.begin(), st.eps.end());
+  }
+
+  // Per-state ε-closure (self included, sorted): one DFS per state over the
+  // CSR ε-edges. Quadratic in the worst case but the automata are
+  // query-sized, and this runs once per compiled query.
+  {
+    std::vector<int32_t> mark(n, -1);
+    std::vector<StateId> work;
+    for (StateId s = 0; s < n; ++s) {
+      work.assign(1, s);
+      mark[s] = s;
+      size_t begin = cm.closure.size();
+      while (!work.empty()) {
+        StateId v = work.back();
+        work.pop_back();
+        cm.closure.push_back(v);
+        for (StateId e : cm.EpsOf(v)) {
+          if (mark[e] != s) {
+            mark[e] = s;
+            work.push_back(e);
+          }
+        }
+      }
+      std::sort(cm.closure.begin() + begin, cm.closure.end());
+      cm.closure_begin[s + 1] = static_cast<int32_t>(cm.closure.size());
+    }
+  }
+
+  // ---- AFA arena ----
+  cm.afa_kind.assign(m, AfaKind::kOr);
+  cm.afa_label.assign(m, kNoLabel);
+  cm.afa_wild.assign(m, 0);
+  cm.afa_target.assign(m, kNoState);
+  cm.operand_begin.assign(m + 1, 0);
+  cm.afa_final.assign((m + 63) / 64 + 1, 0);
+  for (StateId s = 0; s < m; ++s) {
+    const AfaState& a = mfa.afa[s];
+    cm.afa_kind[s] = a.kind;
+    cm.afa_label[s] = a.label;
+    cm.afa_wild[s] = a.wildcard ? 1 : 0;
+    cm.afa_target[s] = a.target;
+    if (a.kind == AfaKind::kFinal) {
+      cm.afa_final[s >> 6] |= uint64_t{1} << (s & 63);
+    }
+    cm.operand_begin[s + 1] =
+        cm.operand_begin[s] + static_cast<int32_t>(a.operands.size());
+    cm.operands.insert(cm.operands.end(), a.operands.begin(), a.operands.end());
+  }
+
+  AfaScc scc = ComputeAfaScc(cm);
+  cm.afa_scc = std::move(scc.scc);
+  cm.afa_rank = std::move(scc.rank);
+  return cm;
+}
+
+}  // namespace smoqe::automata

@@ -1,0 +1,117 @@
+// CompiledMfa: a dense, read-only mirror of an Mfa.
+//
+// The Mfa of mfa.h is built for construction: vectors-of-vectors that the
+// compiler and rewriters grow freely. Every evaluator, however, only ever
+// READS the automaton -- and reads it millions of times per pass, from many
+// threads at once. CompiledMfa flattens the whole automaton into contiguous
+// CSR arrays once, so the hot transition loops walk cache-line-friendly
+// slices instead of chasing one heap vector per state:
+//
+//   * selecting-NFA transitions (labeled and wildcard moves in separate
+//     slices), ε-edges, and the full per-state ε-CLOSURE (so NextNFAStates
+//     replaces its BFS with precomputed sorted runs);
+//   * final-state and final-AFA bitsets, per-state λ annotation entries;
+//   * the AFA arena as struct-of-arrays (kind / label / target / operand
+//     CSR), laid out with a STRATIFIED evaluation order: afa_rank is a
+//     dependency-first order of the AFA graph's strongly connected
+//     components, so an operator's operands precede it unless they share a
+//     Kleene cycle (afa_scc equality) -- exactly the split-property
+//     stratification Theorem 4.1 guarantees. Evaluators sweep operator
+//     states in rank order and need fixpoint iteration only on genuine
+//     cycles.
+//
+// One CompiledMfa is built per query -- by rewrite::RewriteCache at
+// compile/rewrite time -- and shared (shared_ptr, immutable) by every
+// hype::TransitionPlane, engine, shard, and service batch that evaluates the
+// query. It carries no document-side state: label ids are the Mfa's own; the
+// TransitionPlane binds them to a concrete tree's label table.
+
+#ifndef SMOQE_AUTOMATA_COMPILED_MFA_H_
+#define SMOQE_AUTOMATA_COMPILED_MFA_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "automata/mfa.h"
+
+namespace smoqe::automata {
+
+struct CompiledMfa {
+  /// A labeled (non-wildcard) selecting move. Wildcard moves live in the
+  /// separate `wild` slices so the label-match loop never tests a flag.
+  struct Edge {
+    LabelId label;
+    StateId to;
+  };
+
+  // ---- selecting NFA (all CSR, offset arrays sized num_nfa + 1) ----
+  std::vector<int32_t> trans_begin;
+  std::vector<Edge> trans;
+  std::vector<int32_t> wild_begin;
+  std::vector<StateId> wild;
+  std::vector<int32_t> eps_begin;
+  std::vector<StateId> eps;
+  /// Full ε-closure of each state (the state itself included), sorted.
+  std::vector<int32_t> closure_begin;
+  std::vector<StateId> closure;
+  std::vector<uint64_t> nfa_final;  // bitset over NFA states
+  std::vector<StateId> afa_entry;   // λ annotation per NFA state (kNoState)
+
+  // ---- AFA arena, struct-of-arrays ----
+  std::vector<AfaKind> afa_kind;
+  std::vector<LabelId> afa_label;   // kTrans move label (kNoLabel otherwise)
+  std::vector<uint8_t> afa_wild;    // kTrans wildcard flag
+  std::vector<StateId> afa_target;  // kTrans move target (kNoState otherwise)
+  std::vector<int32_t> operand_begin;  // afa + 1
+  std::vector<StateId> operands;
+  std::vector<uint64_t> afa_final;  // bitset: kind == kFinal
+
+  // ---- stratified (split-property) evaluation order ----
+  /// Dependency-first order of the AFA graph: rank[operand] < rank[operator]
+  /// whenever the two lie in different strongly connected components; ranks
+  /// are unique per state.
+  std::vector<int32_t> afa_rank;
+  /// Strongly-connected-component id per AFA state; an operator sharing a
+  /// component with an operand sits on a Kleene cycle (needs iteration).
+  std::vector<int32_t> afa_scc;
+
+  StateId start = kNoState;
+
+  int num_nfa_states() const { return static_cast<int>(afa_entry.size()); }
+  int num_afa_states() const { return static_cast<int>(afa_kind.size()); }
+
+  bool IsNfaFinal(StateId s) const {
+    return (nfa_final[s >> 6] >> (s & 63)) & 1;
+  }
+  bool IsAfaFinal(StateId s) const {
+    return (afa_final[s >> 6] >> (s & 63)) & 1;
+  }
+
+  std::span<const Edge> TransOf(StateId s) const {
+    return {trans.data() + trans_begin[s],
+            trans.data() + trans_begin[s + 1]};
+  }
+  std::span<const StateId> WildOf(StateId s) const {
+    return {wild.data() + wild_begin[s], wild.data() + wild_begin[s + 1]};
+  }
+  std::span<const StateId> EpsOf(StateId s) const {
+    return {eps.data() + eps_begin[s], eps.data() + eps_begin[s + 1]};
+  }
+  std::span<const StateId> ClosureOf(StateId s) const {
+    return {closure.data() + closure_begin[s],
+            closure.data() + closure_begin[s + 1]};
+  }
+  std::span<const StateId> OperandsOf(StateId s) const {
+    return {operands.data() + operand_begin[s],
+            operands.data() + operand_begin[s + 1]};
+  }
+
+  /// Flattens `mfa`. The result references nothing in `mfa` and never
+  /// changes afterwards; share it freely across threads.
+  static CompiledMfa Build(const Mfa& mfa);
+};
+
+}  // namespace smoqe::automata
+
+#endif  // SMOQE_AUTOMATA_COMPILED_MFA_H_

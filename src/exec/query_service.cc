@@ -44,6 +44,8 @@ QueryService::QueryService(const xml::Tree& tree, QueryServiceOptions options)
       plane_owned_(options_.plane == nullptr ? xml::DocPlane::Build(tree)
                                              : xml::DocPlane{}),
       plane_(options_.plane == nullptr ? &plane_owned_ : options_.plane),
+      plane_store_(tree, options_.index,
+                   {.capacity = options_.cache_capacity}),
       pool_(options_.num_threads),
       cache_(options_.view, {.capacity = options_.cache_capacity}),
       dispatcher_([this] { DispatcherLoop(); }) {}
@@ -155,6 +157,7 @@ QueryService::CachedEvaluator& QueryService::EvaluatorFor(
   ShardedOptions sharded_options;
   sharded_options.index = options_.index;
   sharded_options.plane = plane_;
+  sharded_options.plane_store = &plane_store_;
   sharded_options.pool = &pool_;
   sharded_options.num_shards = options_.num_shards;
   sharded_options.enable_jump = options_.enable_jump;
@@ -179,9 +182,13 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
       failures.emplace_back(i, compiled.status());
       continue;
     }
-    std::shared_ptr<const automata::Mfa> mfa = std::move(compiled.value());
+    std::shared_ptr<const automata::Mfa> mfa = std::move(compiled.value().mfa);
     auto [it, inserted] = slot_of.emplace(mfa.get(), mfas.size());
     if (inserted) {
+      // Register the query's transition plane now, seeded with the cache's
+      // warm CSR mirror and pinning the MFA to the entry: every evaluator
+      // this batch (or a later one) creates for the MFA shares it.
+      plane_store_.For(mfa.get(), std::move(compiled.value().compiled), mfa);
       mfas.push_back(std::move(mfa));
       waiters.emplace_back();
     } else {

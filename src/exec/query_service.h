@@ -1,8 +1,9 @@
 // QueryService: the concurrent front-end of the serving spine.
 //
 // One service owns a loaded document, the query → MFA compilation cache
-// (rewrite::RewriteCache -- view-rewriting or plain mode), and the thread
-// pool. Any number of client threads Submit query text and get a future;
+// (rewrite::RewriteCache -- view-rewriting or plain mode), the per-query
+// transition-plane store (hype::TransitionPlaneStore -- compiled evaluation
+// state shared across batches and shards), and the thread pool. Any number of client threads Submit query text and get a future;
 // internally a dispatcher thread coalesces submissions into ADMISSION
 // BATCHES -- a batch closes when it reaches `max_batch` queries or when its
 // oldest entry has waited `max_delay` -- compiles the batch through the
@@ -34,6 +35,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "hype/index.h"
+#include "hype/transition_plane.h"
 #include "rewrite/rewrite_cache.h"
 #include "view/view_def.h"
 #include "xml/doc_plane.h"
@@ -143,6 +145,11 @@ class QueryService {
   QueryServiceOptions options_;
   xml::DocPlane plane_owned_;  // empty when options.plane was provided
   const xml::DocPlane* plane_;
+  // One interning universe per compiled query for every evaluator this
+  // service ever creates: shard engines share planes within a batch, and
+  // successive batches (and evaluator-cache rebuilds) start warm. Planes
+  // are seeded from the RewriteCache's CompiledMfa mirrors.
+  hype::TransitionPlaneStore plane_store_;
   common::ThreadPool pool_;
   rewrite::RewriteCache cache_;  // dispatcher-thread only
   std::vector<std::unique_ptr<CachedEvaluator>> evaluators_;  // LRU, small

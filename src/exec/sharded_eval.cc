@@ -28,11 +28,18 @@ ShardedBatchEvaluator::ShardedBatchEvaluator(
       options_(options),
       plane_owned_(options.plane == nullptr ? xml::DocPlane::Build(tree)
                                             : xml::DocPlane{}),
-      plane_(options.plane == nullptr ? &plane_owned_ : options.plane) {
+      plane_(options.plane == nullptr ? &plane_owned_ : options.plane),
+      store_owned_(options.plane_store == nullptr
+                       ? std::make_unique<hype::TransitionPlaneStore>(
+                             tree, options.index)
+                       : nullptr),
+      store_(options.plane_store == nullptr ? store_owned_.get()
+                                            : options.plane_store) {
   hype::HypeOptions engine_options;
   engine_options.index = options_.index;
   probes_.reserve(mfas_.size());
   for (const automata::Mfa* mfa : mfas_) {
+    engine_options.transition_plane = store_->For(mfa);
     probes_.push_back(
         std::make_unique<hype::HypeEngine>(tree_, *mfa, engine_options));
   }
@@ -190,6 +197,7 @@ void ShardedBatchEvaluator::EnsureWorkers() {
   hype::BatchHypeOptions batch_options;
   batch_options.index = options_.index;
   batch_options.plane = plane_;  // shared read-only across all shard tasks
+  batch_options.plane_store = store_;  // one interning universe per query
   batch_options.enable_jump = options_.enable_jump;
 
   const size_t num_groups =
@@ -237,8 +245,10 @@ std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAll(
   stats_.num_fallback_queries = static_cast<int>(fallback_queries_.size());
 
   // One task per shard group (plus one for the fallback pass); each task
-  // touches only its own evaluator and output slot, so the only shared state
-  // across threads is the immutable tree / MFAs / index.
+  // touches only its own evaluator and output slot. The state shared across
+  // threads is the immutable tree / MFAs / index / doc plane plus the
+  // read-mostly per-query transition planes (concurrently readable by
+  // design, see transition_plane.h).
   const size_t num_sharded = sharded_queries_.size();
   struct GroupOut {
     std::vector<std::vector<xml::NodeId>> per_query;

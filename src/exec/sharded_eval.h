@@ -5,9 +5,14 @@
 // configurations, a cans DAG confined to filter regions), so the document
 // decomposes: partition the tree into subtree UNITS (top-level subtrees,
 // recursively split while more parallelism is needed), give every shard its
-// own HypeEngine per query -- configuration store, cans graph, epoch-marked
-// scratch all shard-local, nothing shared but the immutable tree/MFAs/index
-// -- and walk the units concurrently via BatchHypeEvaluator::EvalSubtree.
+// own HypeEngine per query -- cans graph, frames, and epoch scratch all
+// shard-local -- and walk the units concurrently via
+// BatchHypeEvaluator::EvalSubtree. The per-QUERY derived state (the
+// hash-consed configuration store and memoized transition tables) is NOT
+// per shard: all shard engines of one query read a single shared
+// hype::TransitionPlane (concurrently-readable, see transition_plane.h), so
+// each configuration is interned once per query instead of once per shard
+// and repeated batches start warm.
 // Per-shard answers are merged deterministically (units are kept in document
 // order; the merge never depends on thread scheduling), so EvalAll returns
 // bit-identical answers to a solo BatchHypeEvaluator / HypeEvaluator run.
@@ -60,6 +65,14 @@ struct ShardedOptions {
   /// caller gets correct answers without parallelism instead.
   common::ThreadPool* pool = nullptr;
 
+  /// Shared registry of per-query transition planes (see
+  /// transition_plane.h), created for the same tree and index. The service
+  /// passes its own so successive batches start warm; when null the
+  /// evaluator creates one, so its probes, shard workers, and the fallback
+  /// still intern each configuration once in total instead of once per
+  /// shard.
+  hype::TransitionPlaneStore* plane_store = nullptr;
+
   /// Shard-group target. 0 = twice the pool width (slack so the greedy
   /// contiguous partition and work stealing can smooth unit imbalance).
   int num_shards = 0;
@@ -99,7 +112,10 @@ class ShardedBatchEvaluator {
   /// Merged per-query run statistics of the last EvalAll: traversal-work
   /// counters (elements visited, cans sizes, AFA requests) are summed over
   /// the query's shard engines and spine visits and match the solo totals;
-  /// configs_interned counts per-shard stores and therefore exceeds solo.
+  /// configs_interned sums the shared-plane insertions attributed to the
+  /// query's worker engines -- each configuration is interned once in the
+  /// query's shared TransitionPlane, not once per shard, and a warm start
+  /// interns nothing.
   const hype::EvalStats& merged_stats(size_t i) const {
     return merged_stats_[i];
   }
@@ -134,6 +150,9 @@ class ShardedBatchEvaluator {
   ShardedOptions options_;
   xml::DocPlane plane_owned_;  // empty when options.plane was provided
   const xml::DocPlane* plane_;
+  // Null when options.plane_store was provided.
+  std::unique_ptr<hype::TransitionPlaneStore> store_owned_;
+  hype::TransitionPlaneStore* store_;
 
   // One probe engine per query: computes the spine configurations, decides
   // shardability, and emits spine-node answers. Probes run only on the

@@ -22,6 +22,9 @@ BatchHypeEvaluator::BatchHypeEvaluator(const xml::Tree& tree,
   engine_options.index = options_.index;
   engine_options.plane = plane_;  // text-presence prefilter at pop time
   for (const automata::Mfa* mfa : mfas) {
+    engine_options.transition_plane =
+        options_.plane_store != nullptr ? options_.plane_store->For(mfa)
+                                        : nullptr;
     engines_.push_back(std::make_unique<HypeEngine>(tree, *mfa, engine_options));
   }
 }
@@ -62,9 +65,9 @@ int32_t BatchHypeEvaluator::InternState(std::vector<Member> members) {
   return id;
 }
 
-int32_t BatchHypeEvaluator::ComputeEdge(int32_t state, LabelId label,
+int64_t BatchHypeEvaluator::ComputeEdge(int32_t state, LabelId label,
                                         int32_t eff_set) {
-  JointEdge edge;
+  JointAction action;
   std::vector<Member> child_members;
   for (const Member& m : states_[state]->members) {
     HypeEngine& engine = *engines_[m.engine];
@@ -74,32 +77,36 @@ int32_t BatchHypeEvaluator::ComputeEdge(int32_t state, LabelId label,
     child_members.push_back({m.engine, succ.config, framed});
     if (framed) {
       if (m.framed) {
-        edge.descend.push_back({m.engine, succ});
+        action.descend.push_back({m.engine, succ});
       } else {
-        edge.begin.push_back({m.engine, succ.config});
+        action.begin.push_back({m.engine, succ.config});
       }
     }
   }
-  if (!child_members.empty()) edge.next = InternState(std::move(child_members));
-  edges_.push_back(std::move(edge));
-  return static_cast<int32_t>(edges_.size()) - 1;
+  int32_t next = -1;
+  if (!child_members.empty()) next = InternState(std::move(child_members));
+  int32_t action_id = -1;
+  if (!action.descend.empty() || !action.begin.empty()) {
+    action_id = static_cast<int32_t>(actions_.size());
+    actions_.push_back(std::move(action));
+  }
+  return PackEdge(next, action_id);
 }
 
-int32_t BatchHypeEvaluator::EdgeFor(int32_t state, LabelId label,
-                                    int32_t eff_set) {
-  JointState& st = *states_[state];
+int64_t BatchHypeEvaluator::EdgeFor(JointState& st, int32_t state,
+                                    LabelId label, int32_t eff_set) {
   if (options_.index == nullptr) {
-    if (st.edges.empty()) st.edges.assign(tree_.labels().size(), -1);
-    int32_t& slot = st.edges[label];
-    if (slot < 0) slot = ComputeEdge(state, label, eff_set);
+    if (st.edges.empty()) st.edges.assign(tree_.labels().size(), kEdgeUnset);
+    int64_t& slot = st.edges[label];
+    if (slot == kEdgeUnset) slot = ComputeEdge(state, label, eff_set);
     return slot;
   }
   if (st.edges_by_eff.empty()) st.edges_by_eff.resize(tree_.labels().size());
-  std::vector<std::pair<int32_t, int32_t>>& slots = st.edges_by_eff[label];
+  std::vector<std::pair<int32_t, int64_t>>& slots = st.edges_by_eff[label];
   for (const auto& [eff, edge] : slots) {
     if (eff == eff_set) return edge;
   }
-  int32_t edge = ComputeEdge(state, label, eff_set);
+  int64_t edge = ComputeEdge(state, label, eff_set);
   // `st` stays valid: JointState objects are heap-stable (unique_ptr).
   slots.emplace_back(eff_set, edge);
   return edge;
@@ -209,24 +216,36 @@ void BatchHypeEvaluator::RunJointPass(xml::NodeId top, int32_t top_eff,
     }
 
     // Decode the child and resolve its subtree label set once; advance the
-    // whole batch with one joint-table lookup.
+    // whole batch with one packed joint-table entry.
     const LabelId cl = plane.label(c);
     const int32_t eff_c =
         index != nullptr ? index->EffectiveSet(plane.node_at(c), frame.eff_set)
                          : frame.eff_set;
-    frame.cursor = plane.end_of(c);
-    const int32_t eid = EdgeFor(frame.joint, cl, eff_c);
-    const JointEdge& edge = edges_[eid];
-    if (edge.next < 0) {
+    const int32_t cend = plane.end_of(c);
+    frame.cursor = cend;
+    const int64_t edge = EdgeFor(*frame.st, frame.joint, cl, eff_c);
+    const int32_t next = EdgeNext(edge);
+    if (next < 0) {
       ++pass_stats_.subtrees_skipped;  // every engine pruned this subtree
       continue;
     }
-    for (const auto& [e, succ] : edge.descend) engines_[e]->DescendWith(succ);
-    for (const auto& [e, cfg] : edge.begin) engines_[e]->BeginFrames(cfg);
-    JointState* next_st = states_[edge.next].get();
-    enter(*next_st, edge.next, plane.node_at(c));
-    stack.push_back({c, plane.end_of(c), c + 1, eff_c, edge.next, next_st,
-                     jump_allowed && JumpPlanFor(edge.next)});
+    const int32_t action = EdgeAction(edge);
+    JointState* next_st = states_[next].get();
+    if (action < 0 && cend == c + 1) {
+      // Action-free LEAF: no engine needs a frame and there are no children
+      // to scan, so the full enter/exit round-trip collapses to the enter
+      // effects -- the dominant shape on label-dense navigation batches.
+      enter(*next_st, next, plane.node_at(c));
+      continue;
+    }
+    if (action >= 0) {
+      const JointAction& a = actions_[action];
+      for (const auto& [e, succ] : a.descend) engines_[e]->DescendWith(succ);
+      for (const auto& [e, cfg] : a.begin) engines_[e]->BeginFrames(cfg);
+    }
+    enter(*next_st, next, plane.node_at(c));
+    stack.push_back({c, cend, c + 1, eff_c, next, next_st,
+                     jump_allowed && JumpPlanFor(next)});
   }
 }
 

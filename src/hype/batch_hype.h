@@ -11,15 +11,24 @@
 // per-engine configurations occupied at a node -- a joint state -- and
 // memoizes joint transitions per (joint state, label[, subtree label set]),
 // the determinization idea HyPE already applies per query (Green et al.),
-// lifted across the batch. One table lookup then advances every query at
-// once and tells the driver:
+// lifted across the batch. One packed table entry then advances every query
+// at once and tells the driver:
 //   - whether EVERY engine prunes the child (skip the whole subtree);
 //   - which engines descend with frames (filters pending / inside a cans
-//     region): they run their normal per-node prologue/epilogue;
+//     region): they run their normal per-node prologue/epilogue -- the rare
+//     case, held in a side table the action-free hot path never touches;
 //   - which engines are in a "simple" state (no AFA requests, nothing
 //     annotated): they ride the joint table framelessly with NO per-node
 //     work -- their answers (final states) and visit statistics are
-//     recovered from the joint states themselves.
+//     recovered from the joint states themselves. An action-free LEAF child
+//     is entered and accounted without a frame push/pop at all.
+//
+// Each engine's per-query derived state (configurations, transition tables)
+// lives in its hype::TransitionPlane; hand the evaluator a
+// TransitionPlaneStore to share those planes with other evaluators of the
+// same queries (shard workers, the probe pass, later service batches) --
+// see transition_plane.h. The joint tables themselves are evaluator-local
+// (they index the batch's engine slots).
 //
 // The walk itself iterates a columnar xml::DocPlane (preorder arrays with
 // subtree extents, see the design note in xml/doc_plane.h): descending is a
@@ -47,7 +56,7 @@
 // modes.
 //
 // The evaluator is reusable: repeated EvalAll calls keep the joint tables
-// and each engine's configuration store warm.
+// and each engine's transition plane warm.
 
 #ifndef SMOQE_HYPE_BATCH_HYPE_H_
 #define SMOQE_HYPE_BATCH_HYPE_H_
@@ -61,6 +70,7 @@
 #include "automata/mfa.h"
 #include "hype/engine.h"
 #include "hype/index.h"
+#include "hype/transition_plane.h"
 #include "xml/doc_plane.h"
 #include "xml/tree.h"
 
@@ -78,6 +88,13 @@ struct BatchHypeOptions {
   /// pass a shared plane to avoid per-evaluator rebuilds.
   const xml::DocPlane* plane = nullptr;
 
+  /// Shared registry of per-query transition planes (see
+  /// transition_plane.h); must have been created for the same tree and
+  /// index. Null = each engine keeps a private plane (the pre-plane
+  /// behavior). exec::ShardedBatchEvaluator hands every worker one store so
+  /// all shards intern each configuration once.
+  TransitionPlaneStore* plane_store = nullptr;
+
   /// Allows the joint driver's jump mode (see the design note above). Off
   /// forces the full columnar DFS; answers and per-engine statistics are
   /// identical either way.
@@ -87,7 +104,8 @@ struct BatchHypeOptions {
 class BatchHypeEvaluator {
  public:
   /// The MFAs must outlive the evaluator. They may repeat (each slot still
-  /// gets its own engine).
+  /// gets its own engine; with a plane store, repeated slots share one
+  /// transition plane).
   BatchHypeEvaluator(const xml::Tree& tree,
                      std::vector<const automata::Mfa*> mfas,
                      BatchHypeOptions options = {});
@@ -116,7 +134,8 @@ class BatchHypeEvaluator {
   size_t batch_size() const { return engines_.size(); }
 
   /// Per-query statistics of the last EvalAll (identical to what the solo
-  /// evaluator would report).
+  /// evaluator would report; configs_interned attributes shared-plane
+  /// insertions, see engine.h).
   const EvalStats& stats(size_t i) const { return engines_[i]->stats(); }
 
   /// Shared-walk statistics of the last EvalAll. nodes_walked counts element
@@ -135,22 +154,38 @@ class BatchHypeEvaluator {
     int32_t config;
     bool framed;  // monotone along a path: set at the first non-simple config
   };
-  // A memoized joint transition: what every engine does on this label move.
-  struct JointEdge {
-    int32_t next = -1;  // target joint state; -1 = every engine prunes
+  // A memoized joint transition is PACKED into one int64: the target joint
+  // state (high half; -1 = every engine prunes) and an index into the
+  // actions_ side table (low half; -1 = no per-engine frame work -- the
+  // common navigation case decodes one table entry and touches nothing
+  // else).
+  struct JointAction {
     std::vector<std::pair<uint32_t, SuccRef>> descend;  // framed at parent
     std::vector<std::pair<uint32_t, int32_t>> begin;    // newly framed
   };
+  static constexpr int64_t kEdgeUnset = INT64_MIN;
+  static int64_t PackEdge(int32_t next, int32_t action) {
+    return static_cast<int64_t>(
+        (static_cast<uint64_t>(static_cast<uint32_t>(next)) << 32) |
+        static_cast<uint32_t>(action));
+  }
+  static int32_t EdgeNext(int64_t packed) {
+    return static_cast<int32_t>(static_cast<uint64_t>(packed) >> 32);
+  }
+  static int32_t EdgeAction(int64_t packed) {
+    return static_cast<int32_t>(static_cast<uint64_t>(packed) & 0xFFFFFFFFu);
+  }
+
   struct JointState {
     std::vector<Member> members;
     std::vector<uint32_t> framed;            // engines to ExitNode at pop
     std::vector<uint32_t> frameless_finals;  // engines emitting `node` direct
     int64_t visits = 0;                      // this pass; distributed after
     int64_t jumped = 0;  // transparent positions skipped under this state
-    // Joint transition memo, mirroring the per-engine tables: one slot per
-    // tree label, or per (label, subtree-label-set) with an index.
-    std::vector<int32_t> edges;
-    std::vector<std::vector<std::pair<int32_t, int32_t>>> edges_by_eff;
+    // Joint transition memo, mirroring the per-engine tables: one packed
+    // slot per tree label, or per (label, subtree-label-set) with an index.
+    std::vector<int64_t> edges;
+    std::vector<std::vector<std::pair<int32_t, int64_t>>> edges_by_eff;
     // Jump plan (no-index passes): jumpable iff every member is frameless
     // and final-free; `jump_labels` is then the sorted union of the
     // members' relevant labels. Derived lazily at first frame use.
@@ -170,8 +205,9 @@ class BatchHypeEvaluator {
   };
 
   int32_t InternState(std::vector<Member> members);
-  int32_t EdgeFor(int32_t state, LabelId label, int32_t eff_set);
-  int32_t ComputeEdge(int32_t state, LabelId label, int32_t eff_set);
+  int64_t EdgeFor(JointState& st, int32_t state, LabelId label,
+                  int32_t eff_set);
+  int64_t ComputeEdge(int32_t state, LabelId label, int32_t eff_set);
   bool JumpPlanFor(int32_t state);
   void RunJointPass(xml::NodeId top, int32_t top_eff, int32_t root_state);
 
@@ -184,7 +220,7 @@ class BatchHypeEvaluator {
 
   std::vector<std::unique_ptr<JointState>> states_;
   std::unordered_map<uint64_t, std::vector<int32_t>> state_buckets_;
-  std::vector<JointEdge> edges_;
+  std::vector<JointAction> actions_;
   std::vector<WalkFrame> walk_stack_;      // reused across EvalAll calls
   std::vector<int32_t> touched_states_;    // states entered by the current pass
 };

@@ -1,40 +1,29 @@
 #include "hype/engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
-#include "common/hashing.h"
+#include "automata/afa.h"
 
 namespace smoqe::hype {
 
 using automata::AfaKind;
 using automata::AfaState;
-using automata::kNoState;
 using automata::Mfa;
-using automata::NfaTransition;
-
-namespace {
-
-// Index of `id` in the sorted vector, or -1.
-int IndexOf(const std::vector<automata::StateId>& sorted, automata::StateId id) {
-  auto it = std::lower_bound(sorted.begin(), sorted.end(), id);
-  if (it == sorted.end() || *it != id) return -1;
-  return static_cast<int>(it - sorted.begin());
-}
-
-}  // namespace
 
 HypeEngine::HypeEngine(const xml::Tree& tree, const Mfa& mfa,
                        HypeOptions options)
-    : tree_(tree), mfa_(mfa), options_(options) {
-  binding_.resize(mfa_.labels.size());
-  for (LabelId l = 0; l < mfa_.labels.size(); ++l) {
-    binding_[l] = tree_.labels().Lookup(mfa_.labels.name(l));
+    : tree_(tree), mfa_(mfa), options_(std::move(options)) {
+  if (options_.transition_plane == nullptr) {
+    options_.transition_plane = std::make_shared<TransitionPlane>(
+        tree_, mfa_, nullptr, options_.index);
   }
+  trans_ = options_.transition_plane.get();
+  assert(trans_->index() == options_.index &&
+         "shared transition plane must use the engine's index");
   stats_.elements_total = tree_.CountElements();
-  nfa_mark_.assign(mfa_.nfa.size(), 0);
-  nfa_mark2_.assign(mfa_.nfa.size(), 0);
-  afa_mark_.assign(mfa_.afa.size(), 0);
+  nfa_deleted_mark_.assign(mfa_.nfa.size(), 0);
 }
 
 HypeEngine::Frame& HypeEngine::GrowFrames(int depth) {
@@ -42,439 +31,6 @@ HypeEngine::Frame& HypeEngine::GrowFrames(int depth) {
     frames_.push_back(std::make_unique<Frame>());
   }
   return *frames_[depth];
-}
-
-// After index-based filtering, drop every state that is no longer
-// ε-reachable from a surviving seed: pruning may remove an annotated guard
-// whose CanBeTrue is false, and states hiding behind it must disappear with
-// it (otherwise they would look unguarded outside a cans region).
-void HypeEngine::RestrictToSeedReachable(std::vector<StateId>* mstates,
-                                         std::vector<char>* seeds) {
-  int64_t member = ++nfa_epoch_;
-  for (StateId s : *mstates) nfa_mark_[s] = member;
-  int64_t reach = ++nfa_epoch2_;
-  reach_work_.clear();
-  for (size_t i = 0; i < mstates->size(); ++i) {
-    if ((*seeds)[i]) {
-      nfa_mark2_[(*mstates)[i]] = reach;
-      reach_work_.push_back((*mstates)[i]);
-    }
-  }
-  for (size_t i = 0; i < reach_work_.size(); ++i) {
-    for (StateId e : mfa_.nfa[reach_work_[i]].eps) {
-      if (nfa_mark_[e] == member && nfa_mark2_[e] != reach) {
-        nfa_mark2_[e] = reach;
-        reach_work_.push_back(e);
-      }
-    }
-  }
-  size_t w = 0;
-  for (size_t i = 0; i < mstates->size(); ++i) {
-    if (nfa_mark2_[(*mstates)[i]] == reach) {
-      (*mstates)[w] = (*mstates)[i];
-      (*seeds)[w] = (*seeds)[i];
-      ++w;
-    }
-  }
-  mstates->resize(w);
-  seeds->resize(w);
-}
-
-const HypeEngine::Productive& HypeEngine::ProductiveFor(int32_t set_id) {
-  auto it = productive_cache_.find(set_id);
-  if (it != productive_cache_.end()) return it->second;
-
-  const SubtreeLabelIndex& index = *options_.index;
-  auto label_available = [&](LabelId mfa_label, bool wildcard) {
-    if (wildcard) return !index.IsEmpty(set_id);
-    LabelId t = binding_[mfa_label];
-    return t != kNoLabel && index.Contains(set_id, t);
-  };
-
-  Productive prod;
-  // CanBeTrue over AFA states: least fixpoint of a monotone system (NOT is
-  // conservatively "can be true": its operand may be false below).
-  prod.afa_cbt.assign(mfa_.afa.size(), 0);
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t s = 0; s < mfa_.afa.size(); ++s) {
-      if (prod.afa_cbt[s]) continue;
-      const AfaState& a = mfa_.afa[s];
-      bool v = false;
-      switch (a.kind) {
-        case AfaKind::kFinal:
-        case AfaKind::kNot:
-          v = true;
-          break;
-        case AfaKind::kTrans:
-          v = label_available(a.label, a.wildcard) && prod.afa_cbt[a.target];
-          break;
-        case AfaKind::kOr:
-          for (StateId o : a.operands) v = v || prod.afa_cbt[o];
-          break;
-        case AfaKind::kAnd:
-          v = true;
-          for (StateId o : a.operands) v = v && prod.afa_cbt[o];
-          break;
-      }
-      if (v) {
-        prod.afa_cbt[s] = 1;
-        changed = true;
-      }
-    }
-  }
-
-  // Selecting-state productivity: can reach a final state using available
-  // labels, through states whose annotations can still be true.
-  prod.sel.assign(mfa_.nfa.size(), 0);
-  auto valid = [&](StateId s) {
-    StateId e = mfa_.nfa[s].afa_entry;
-    return e == kNoState || prod.afa_cbt[e];
-  };
-  changed = true;
-  while (changed) {
-    changed = false;
-    for (size_t s = 0; s < mfa_.nfa.size(); ++s) {
-      if (prod.sel[s] || !valid(static_cast<StateId>(s))) continue;
-      bool v = mfa_.nfa[s].is_final;
-      for (const NfaTransition& t : mfa_.nfa[s].trans) {
-        if (v) break;
-        v = label_available(t.label, t.wildcard) && prod.sel[t.to];
-      }
-      for (StateId e : mfa_.nfa[s].eps) {
-        if (v) break;
-        v = prod.sel[e] != 0;
-      }
-      if (v) {
-        prod.sel[s] = 1;
-        changed = true;
-      }
-    }
-  }
-  return productive_cache_.emplace(set_id, std::move(prod)).first->second;
-}
-
-// Interns the configuration currently held in tmp_m_ / tmp_seeds_ / tmp_f_.
-// All per-node lookups that depend only on the configuration are precomputed
-// here: freq shape (finals / transition states / operator operand
-// positions), annotated-state positions, and the intra-node ε-edge pairs.
-HypeEngine::ConfigId HypeEngine::InternConfig() {
-  uint64_t h = HashCombine(tmp_m_.size(), tmp_f_.size());
-  for (StateId s : tmp_m_) h = HashCombine(h, static_cast<uint64_t>(s));
-  for (char c : tmp_seeds_) h = HashCombine(h, static_cast<uint64_t>(c));
-  for (StateId s : tmp_f_) h = HashCombine(h, static_cast<uint64_t>(s));
-  std::vector<ConfigId>& bucket = config_buckets_[h];
-  for (ConfigId id : bucket) {
-    const Config& c = *configs_[id];
-    if (c.mstates == tmp_m_ && c.seeds == tmp_seeds_ && c.freq == tmp_f_) {
-      return id;
-    }
-  }
-  auto config = std::make_unique<Config>();
-  config->mstates = tmp_m_;
-  config->seeds = tmp_seeds_;
-  config->freq = tmp_f_;
-  config->dead = tmp_m_.empty() && tmp_f_.empty();
-  for (size_t i = 0; i < tmp_m_.size(); ++i) {
-    const automata::NfaState& st = mfa_.nfa[tmp_m_[i]];
-    if (st.afa_entry != kNoState) {
-      config->any_annotated = true;
-      config->annotated.push_back(
-          {static_cast<int>(i), IndexOf(tmp_f_, st.afa_entry)});
-    }
-    if (st.is_final) {
-      config->has_final = true;
-      config->final_mstates.push_back(static_cast<int>(i));
-    }
-    for (StateId e : st.eps) {
-      int j = IndexOf(tmp_m_, e);
-      if (j >= 0) config->eps_pairs.push_back({static_cast<int32_t>(i), j});
-    }
-  }
-  for (size_t j = 0; j < tmp_f_.size(); ++j) {
-    const AfaState& a = mfa_.afa[tmp_f_[j]];
-    switch (a.kind) {
-      case AfaKind::kFinal:
-        config->finals.push_back(static_cast<int>(j));
-        break;
-      case AfaKind::kTrans:
-        config->ftrans.push_back(
-            {static_cast<int>(j), a.target, a.label, a.wildcard});
-        break;
-      default: {
-        Config::OpSpec op;
-        op.kind = a.kind;
-        op.idx = static_cast<int>(j);
-        op.begin = static_cast<int>(config->operand_pos.size());
-        for (StateId o : a.operands) {
-          config->operand_pos.push_back(IndexOf(tmp_f_, o));
-          if (o >= tmp_f_[j]) config->needs_iteration = true;
-        }
-        op.end = static_cast<int>(config->operand_pos.size());
-        config->ops.push_back(op);
-        break;
-      }
-    }
-  }
-  ConfigId id = static_cast<ConfigId>(configs_.size());
-  configs_.push_back(std::move(config));
-  bucket.push_back(id);
-  ++stats_.configs_interned;
-  return id;
-}
-
-// Precomputes the parent→child edge data of one memoized transition: the
-// cans label-edge pairs and the fstates↑ fold pairs. Returns -1 when both
-// are empty (the common navigation case), so the pop path can skip the
-// whole fold with one compare.
-//
-// When the child configuration has no annotated states, none of its vertices
-// can ever be deleted, so its intra-node ε-edges are pure connectivity: the
-// label edges are emitted ε-CLOSED (parent i → every child state reachable
-// from the move target) and the per-node ε materialization is skipped
-// entirely (see EnterNode). Annotated configurations keep the paper's exact
-// wiring: a deleted guard must disconnect what hides behind it.
-int32_t HypeEngine::InternAux(ConfigId from, LabelId tree_label, ConfigId to) {
-  const Config& p = *configs_[from];
-  const Config& c = *configs_[to];
-  TransAux aux;
-  // ε-adjacency of the child config (only needed for closure).
-  std::vector<std::vector<int32_t>> adj;
-  std::vector<char> reach;
-  std::vector<int32_t> work;
-  if (!c.any_annotated && !c.eps_pairs.empty()) {
-    adj.resize(c.mstates.size());
-    for (auto [i, j] : c.eps_pairs) adj[i].push_back(j);
-  }
-  for (size_t i = 0; i < p.mstates.size(); ++i) {
-    reach.assign(c.mstates.size(), 0);
-    for (const NfaTransition& t : mfa_.nfa[p.mstates[i]].trans) {
-      if (!t.wildcard &&
-          (t.label == kNoLabel || binding_[t.label] != tree_label)) {
-        continue;
-      }
-      int j = IndexOf(c.mstates, t.to);
-      if (j < 0 || reach[j]) continue;
-      reach[j] = 1;
-      aux.label_edges.push_back({static_cast<int32_t>(i), j});
-      if (!adj.empty()) {
-        work.assign(1, j);
-        while (!work.empty()) {
-          int32_t v = work.back();
-          work.pop_back();
-          for (int32_t e : adj[v]) {
-            if (!reach[e]) {
-              reach[e] = 1;
-              aux.label_edges.push_back({static_cast<int32_t>(i), e});
-              work.push_back(e);
-            }
-          }
-        }
-      }
-    }
-  }
-  for (const Config::FreqTrans& ft : p.ftrans) {
-    if (!ft.wildcard &&
-        (ft.label == kNoLabel || binding_[ft.label] != tree_label)) {
-      continue;
-    }
-    int k = IndexOf(c.freq, ft.target);
-    if (k >= 0) aux.fold_pairs.push_back({ft.idx, k});
-  }
-  if (aux.label_edges.empty() && aux.fold_pairs.empty()) return -1;
-  return InternAuxContent(std::move(aux));
-}
-
-int32_t HypeEngine::InternAuxContent(TransAux aux) {
-  uint64_t h = HashCombine(aux.label_edges.size(), aux.fold_pairs.size());
-  for (auto [i, j] : aux.label_edges) {
-    h = HashCombine(h, (static_cast<uint64_t>(i) << 32) |
-                           static_cast<uint32_t>(j));
-  }
-  for (auto [i, j] : aux.fold_pairs) {
-    h = HashCombine(h, ~((static_cast<uint64_t>(i) << 32) |
-                         static_cast<uint32_t>(j)));
-  }
-  std::vector<int32_t>& bucket = aux_buckets_[h];
-  for (int32_t id : bucket) {
-    if (trans_aux_[id].label_edges == aux.label_edges &&
-        trans_aux_[id].fold_pairs == aux.fold_pairs) {
-      return id;
-    }
-  }
-  trans_aux_.push_back(std::move(aux));
-  int32_t id = static_cast<int32_t>(trans_aux_.size()) - 1;
-  bucket.push_back(id);
-  return id;
-}
-
-// Composition of two edge mappings, for wiring a materialized node to its
-// nearest materialized ancestor across barren pass-through nodes. Content
-// interning makes repeated compositions along uniform chains (Kleene stars
-// over recursive data) converge to a fixed id, so the memo stays tiny even
-// on 100k-deep documents.
-int32_t HypeEngine::ComposeAux(int32_t a, int32_t b) {
-  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
-                 static_cast<uint32_t>(b);
-  auto it = compose_memo_.find(key);
-  if (it != compose_memo_.end()) return it->second;
-
-  const std::vector<std::pair<int32_t, int32_t>>& ab = trans_aux_[a].label_edges;
-  const std::vector<std::pair<int32_t, int32_t>>& bc = trans_aux_[b].label_edges;
-  // Small relational join: group bc by source, then map ab through it.
-  TransAux out;
-  for (auto [i, j] : ab) {
-    for (auto [j2, k] : bc) {
-      if (j2 != j) continue;
-      bool dup = false;
-      for (auto [oi, ok] : out.label_edges) {
-        if (oi == i && ok == k) {
-          dup = true;
-          break;
-        }
-      }
-      if (!dup) out.label_edges.push_back({i, k});
-    }
-  }
-  int32_t id = out.label_edges.empty() ? -1 : InternAuxContent(std::move(out));
-  compose_memo_.emplace(key, id);
-  return id;
-}
-
-HypeEngine::SuccRef HypeEngine::ComputeTransition(ConfigId config,
-                                                  LabelId tree_label,
-                                                  int32_t eff_set) {
-  const Config& cur = *configs_[config];
-
-  // NextNFAStates: label move, then ε-closure; move targets are seeds.
-  tmp_m_.clear();
-  int64_t epoch = ++nfa_epoch_;
-  for (StateId s : cur.mstates) {
-    for (const NfaTransition& t : mfa_.nfa[s].trans) {
-      if (t.wildcard ||
-          (t.label != kNoLabel && binding_[t.label] == tree_label)) {
-        if (nfa_mark_[t.to] != epoch) {
-          nfa_mark_[t.to] = epoch;
-          tmp_m_.push_back(t.to);
-        }
-      }
-    }
-  }
-  size_t num_seeds = tmp_m_.size();
-  for (size_t i = 0; i < tmp_m_.size(); ++i) {
-    for (StateId e : mfa_.nfa[tmp_m_[i]].eps) {
-      if (nfa_mark_[e] != epoch) {
-        nfa_mark_[e] = epoch;
-        tmp_m_.push_back(e);
-      }
-    }
-  }
-  tagged_.clear();
-  for (size_t i = 0; i < tmp_m_.size(); ++i) {
-    tagged_.push_back({tmp_m_[i], i < num_seeds ? char{1} : char{0}});
-  }
-  std::sort(tagged_.begin(), tagged_.end());
-  tmp_seeds_.resize(tagged_.size());
-  for (size_t i = 0; i < tagged_.size(); ++i) {
-    tmp_m_[i] = tagged_[i].first;
-    tmp_seeds_[i] = tagged_[i].second;
-  }
-
-  // NextAFAStates: transition moves, newly activated annotations, operator
-  // closure.
-  tmp_f_.clear();
-  int64_t fepoch = ++afa_epoch_;
-  auto add = [&](StateId s) {
-    if (afa_mark_[s] != fepoch) {
-      afa_mark_[s] = fepoch;
-      tmp_f_.push_back(s);
-    }
-  };
-  for (StateId u : cur.freq) {
-    const AfaState& a = mfa_.afa[u];
-    if (a.kind == AfaKind::kTrans &&
-        (a.wildcard ||
-         (a.label != kNoLabel && binding_[a.label] == tree_label))) {
-      add(a.target);
-    }
-  }
-  for (StateId s : tmp_m_) {
-    if (mfa_.nfa[s].afa_entry != kNoState) add(mfa_.nfa[s].afa_entry);
-  }
-  for (size_t i = 0; i < tmp_f_.size(); ++i) {
-    for (StateId o : mfa_.afa[tmp_f_[i]].operands) add(o);
-  }
-  std::sort(tmp_f_.begin(), tmp_f_.end());
-
-  if (options_.index != nullptr) {
-    const Productive& prod = ProductiveFor(eff_set);
-    size_t w = 0;
-    for (size_t i = 0; i < tmp_m_.size(); ++i) {
-      if (prod.sel[tmp_m_[i]]) {
-        tmp_m_[w] = tmp_m_[i];
-        tmp_seeds_[w] = tmp_seeds_[i];
-        ++w;
-      }
-    }
-    tmp_m_.resize(w);
-    tmp_seeds_.resize(w);
-    RestrictToSeedReachable(&tmp_m_, &tmp_seeds_);
-    std::erase_if(tmp_f_, [&](StateId u) { return !prod.afa_cbt[u]; });
-  }
-  SuccRef succ;
-  succ.config = InternConfig();
-  succ.aux = InternAux(config, tree_label, succ.config);
-  return succ;
-}
-
-HypeEngine::SuccRef HypeEngine::PeekTransition(int32_t config,
-                                               LabelId tree_label,
-                                               int32_t eff_set) {
-  Config& cur = *configs_[config];
-  if (options_.index == nullptr) {
-    if (cur.next.empty()) cur.next.assign(tree_.labels().size(), SuccRef{});
-    SuccRef& slot = cur.next[tree_label];
-    if (slot.config < 0) slot = ComputeTransition(config, tree_label, eff_set);
-    return slot;
-  }
-  // Indexed modes: per (config, label), a short (label-set, successor) list.
-  if (cur.next_by_eff.empty()) cur.next_by_eff.resize(tree_.labels().size());
-  std::vector<std::pair<int32_t, SuccRef>>& slots = cur.next_by_eff[tree_label];
-  for (const auto& [eff, next] : slots) {
-    if (eff == eff_set) return next;
-  }
-  SuccRef next = ComputeTransition(config, tree_label, eff_set);
-  // `cur` may have been invalidated only if configs_ grew -- the pointed-to
-  // Config is heap-stable (unique_ptr), so `slots` stays valid.
-  slots.emplace_back(eff_set, next);
-  return next;
-}
-
-// Probes the full transition row of a simple configuration once and caches
-// which labels actually move it. Self-loop labels are TRANSPARENT: a node
-// carrying one neither prunes, nor answers (has_final is a property of the
-// configuration, which does not change), nor alters any descendant's
-// behavior -- the jump drivers rely on exactly this to skip such positions
-// without replaying them. The probe itself goes through the memoized
-// PeekTransition, so it shares (and warms) the lazy tables the traversal
-// uses; it may intern configurations a pruned-only pass would never reach,
-// which is why configs_interned is excluded from the bit-identity contract.
-std::span<const LabelId> HypeEngine::RelevantLabels(int32_t config) {
-  Config& cur = *configs_[config];
-  if (cur.relevant_ready) return cur.relevant;
-  assert(options_.index == nullptr &&
-         "relevant labels are only well-defined without an index");
-  const LabelId num_labels = static_cast<LabelId>(tree_.labels().size());
-  std::vector<LabelId> relevant;
-  for (LabelId l = 0; l < num_labels; ++l) {
-    if (PeekTransition(config, l, 0).config != config) relevant.push_back(l);
-  }
-  // PeekTransition may grow configs_, but the pointed-to Config is
-  // heap-stable (unique_ptr), so `cur` remains valid.
-  cur.relevant = std::move(relevant);
-  cur.relevant_ready = true;
-  return cur.relevant;
 }
 
 int32_t HypeEngine::PrepareRoot(xml::NodeId context) {
@@ -485,57 +41,7 @@ int32_t HypeEngine::PrepareRoot(xml::NodeId context) {
   direct_answers_.clear();
   cans_.Reset();
   depth_ = -1;
-
-  // The context configuration depends only on the context node (and the
-  // index, which is fixed): repeated evaluations skip the closure rebuild.
-  auto cached = root_config_cache_.find(context);
-  if (cached != root_config_cache_.end()) return cached->second;
-
-  // Build the context configuration: ε-closure of the start state; the start
-  // state itself is the only unconditional entry point.
-  tmp_m_ = {mfa_.start};
-  automata::EpsClosure(mfa_, &tmp_m_);
-  tmp_seeds_.assign(tmp_m_.size(), 0);
-  int si = IndexOf(tmp_m_, mfa_.start);
-  if (si >= 0) tmp_seeds_[si] = 1;
-
-  tmp_f_.clear();
-  int64_t fepoch = ++afa_epoch_;
-  auto add = [&](StateId s) {
-    if (afa_mark_[s] != fepoch) {
-      afa_mark_[s] = fepoch;
-      tmp_f_.push_back(s);
-    }
-  };
-  for (StateId s : tmp_m_) {
-    if (mfa_.nfa[s].afa_entry != kNoState) add(mfa_.nfa[s].afa_entry);
-  }
-  for (size_t i = 0; i < tmp_f_.size(); ++i) {
-    for (StateId o : mfa_.afa[tmp_f_[i]].operands) add(o);
-  }
-  std::sort(tmp_f_.begin(), tmp_f_.end());
-
-  if (options_.index != nullptr) {
-    int32_t eff = options_.index->SetForContext(tree_, context);
-    const Productive& prod = ProductiveFor(eff);
-    size_t w = 0;
-    for (size_t i = 0; i < tmp_m_.size(); ++i) {
-      if (prod.sel[tmp_m_[i]]) {
-        tmp_m_[w] = tmp_m_[i];
-        tmp_seeds_[w] = tmp_seeds_[i];
-        ++w;
-      }
-    }
-    tmp_m_.resize(w);
-    tmp_seeds_.resize(w);
-    RestrictToSeedReachable(&tmp_m_, &tmp_seeds_);
-    std::erase_if(tmp_f_, [&](StateId u) { return !prod.afa_cbt[u]; });
-  }
-
-  ConfigId root_config = InternConfig();
-  int32_t result = configs_[root_config]->dead ? -1 : root_config;
-  root_config_cache_.emplace(context, result);
-  return result;
+  return trans_->ContextConfig(context, &stats_.configs_interned);
 }
 
 bool HypeEngine::Start(xml::NodeId context) {
@@ -569,7 +75,7 @@ void HypeEngine::DescendWith(SuccRef succ) {
 bool HypeEngine::DescendInto(LabelId child_label, int32_t child_eff_set) {
   SuccRef succ =
       PeekTransition(frames_[depth_]->config, child_label, child_eff_set);
-  if (configs_[succ.config]->dead) return false;  // prune the subtree
+  if (trans_->config(succ.config).dead) return false;  // prune the subtree
   DescendWith(succ);
   return true;
 }
@@ -586,7 +92,7 @@ bool HypeEngine::DescendInto(LabelId child_label, int32_t child_eff_set) {
 void HypeEngine::EnterNode() {
   ++stats_.elements_visited;
   Frame& frame = *frames_[depth_];
-  const Config& config = *configs_[frame.config];
+  const Config& config = trans_->config(frame.config);
   stats_.afa_state_requests += static_cast<int64_t>(config.freq.size());
 
   bool opens_region = !frame.entered_in_region && config.any_annotated;
@@ -603,7 +109,7 @@ void HypeEngine::EnterNode() {
         frame.eff_aux = frame.aux;
         frame.eff_vbase = parent.vbase;
       } else if (parent.eff_aux >= 0) {
-        frame.eff_aux = ComposeAux(parent.eff_aux, frame.aux);
+        frame.eff_aux = ComposeAuxCached(parent.eff_aux, frame.aux);
         frame.eff_vbase = parent.eff_vbase;
       }
     }
@@ -642,7 +148,7 @@ void HypeEngine::EnterNode() {
 // data (the work the recursive Visit did after the child returned).
 void HypeEngine::ExitNode(xml::NodeId node) {
   Frame& frame = *frames_[depth_];
-  const Config& config = *configs_[frame.config];
+  const Config& config = trans_->config(frame.config);
   const std::vector<StateId>& freq = config.freq;
 
   if (!freq.empty()) {
@@ -659,10 +165,10 @@ void HypeEngine::ExitNode(xml::NodeId node) {
       }
       frame.fvals[j] = automata::FinalPredHolds(a, tree_, node) ? 1 : 0;
     }
-    // Operator fixpoint. Operands precede operators in the ascending sweep
-    // except across Kleene-loop back-edges, so one sweep usually suffices;
-    // with back-edges we iterate to the (stratified) fixpoint. A pruned
-    // operand (position -1) reads as false.
+    // Operator fixpoint. The ops sweep is in the CompiledMfa's stratified
+    // order: operands precede operators except across genuine Kleene
+    // cycles, where needs_iteration drives the loop to the (stratified)
+    // fixpoint. A pruned operand (position -1) reads as false.
     bool changed = !config.ops.empty();
     while (changed) {
       changed = false;
@@ -702,15 +208,15 @@ void HypeEngine::ExitNode(xml::NodeId node) {
   // Delete vertices whose filter failed; report answers.
   if (frame.region) {
     const std::vector<StateId>& mstates = config.mstates;
-    int64_t deleted_epoch = ++nfa_epoch2_;
+    int64_t deleted_epoch = ++nfa_deleted_epoch_;
     for (auto [i, pos] : config.annotated) {
       if (pos < 0 || !frame.fvals[pos]) {
         cans_.DeleteVertex(frame.vbase + i);
-        nfa_mark2_[mstates[i]] = deleted_epoch;
+        nfa_deleted_mark_[mstates[i]] = deleted_epoch;
       }
     }
     for (int i : config.final_mstates) {
-      if (nfa_mark2_[mstates[i]] != deleted_epoch) {
+      if (nfa_deleted_mark_[mstates[i]] != deleted_epoch) {
         cans_.SetAnswer(frame.vbase + i, node);
       }
     }
@@ -721,14 +227,14 @@ void HypeEngine::ExitNode(xml::NodeId node) {
   // Label edges nearest-materialized-ancestor state --...--> this node's
   // state (composed across barren pass-through nodes).
   if (frame.vcount > 0 && frame.eff_aux >= 0) {
-    for (auto [i, j] : trans_aux_[frame.eff_aux].label_edges) {
+    for (auto [i, j] : trans_->aux(frame.eff_aux).label_edges) {
       cans_.AddEdge(frame.eff_vbase + i, frame.vbase + j);
     }
   }
   if (depth_ > 0 && frame.aux >= 0) {
     Frame& parent = *frames_[depth_ - 1];
     // fstates↑: fold this node's truths into the parent's transition states.
-    for (auto [idx, k] : trans_aux_[frame.aux].fold_pairs) {
+    for (auto [idx, k] : trans_->aux(frame.aux).fold_pairs) {
       if (!parent.fvals[idx] && frame.fvals[k]) parent.fvals[idx] = 1;
     }
   }
@@ -741,8 +247,30 @@ std::vector<xml::NodeId> HypeEngine::TakeAnswers() {
   std::vector<xml::NodeId> answers = cans_.CollectAnswers();
   answers.insert(answers.end(), direct_answers_.begin(), direct_answers_.end());
   // Direct answers of navigation queries arrive in document order already
-  // (pre-order emission, ids increase along the DFS): skip the sort then.
+  // when node ids follow the DFS (pre-order emission): skip the sort then.
   if (!std::is_sorted(answers.begin(), answers.end())) {
+    const size_t words = (static_cast<size_t>(tree_.size()) + 63) / 64;
+    if (answers.size() >= 64 && answers.size() * 8 >= words) {
+      // Dense answer sets (label-dense navigation emits answers at a sizable
+      // fraction of all nodes) sort via a bitmap over the id space: O(n +
+      // |T|/64) instead of O(n log n), and deduplication falls out of the
+      // bits. This was the single hottest piece of the dense batch profile.
+      answer_bits_.assign(words, 0);
+      for (xml::NodeId id : answers) {
+        answer_bits_[static_cast<size_t>(id) >> 6] |=
+            uint64_t{1} << (id & 63);
+      }
+      answers.clear();
+      for (size_t w = 0; w < words; ++w) {
+        uint64_t bits = answer_bits_[w];
+        while (bits != 0) {
+          int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          answers.push_back(static_cast<xml::NodeId>((w << 6) | b));
+        }
+      }
+      return answers;
+    }
     std::sort(answers.begin(), answers.end());
   }
   answers.erase(std::unique(answers.begin(), answers.end()), answers.end());

@@ -1,4 +1,4 @@
-// The HyPE engine/driver split.
+// The HyPE engine/plane/driver split.
 //
 // DESIGN NOTE (batched multi-query evaluation)
 // --------------------------------------------
@@ -8,19 +8,34 @@
 // traversal itself — node decoding, child iteration, subtree-label-index
 // lookups — dominates. This header splits the original HypeEvaluator into:
 //
-//  * HypeEngine — ALL per-query state: the hash-consed configuration store
-//    and its lazy transition tables, the per-depth frames (fstates↑ truth
-//    values, cans vertices), the cans DAG, the epoch-marked scratch arrays,
-//    and the run statistics. The engine never walks the tree; it reacts to
+//  * TransitionPlane (transition_plane.h) — ALL state derived from the query
+//    alone: the hash-consed configuration store, the memoized transition and
+//    TransAux tables, productivity analyses, relevant-label sets. The
+//    rewritten MFA is a fixed object per query, so this derived state is
+//    immutable-once-computed and SHARED: every shard worker, batch driver,
+//    and service batch evaluating the same query over the same document
+//    reads one plane (lock-free steady state; a single writer lock on the
+//    cold interning path). Transition computation walks the CompiledMfa CSR
+//    mirror (automata/compiled_mfa.h) rather than the construction-oriented
+//    Mfa vectors.
+//
+//  * HypeEngine — the per-RUN state only: the per-depth frames (fstates↑
+//    truth values, cans vertices), the cans DAG, epoch-marked scratch, and
+//    the run statistics. The engine never walks the tree; it reacts to
 //    traversal events:
 //
-//       Start(context) /          build the context configuration
+//       Start(context) /          resolve the context configuration
 //         PrepareRoot(context)
-//       DescendInto(label, set)   memoized child transition + prologue;
+//       DescendInto(label, set)   memoized plane transition + prologue;
 //                                 false = prune the subtree
 //       ExitNode(n)               epilogue: same-node fixpoint, cans
 //                                 deletions, fold fstates↑ into the parent
 //       TakeAnswers()             phase two: collect answers from cans
+//
+//    EvalStats::configs_interned counts the plane insertions ATTRIBUTED to
+//    this engine's calls: a solo engine on a private plane reports the same
+//    number as before the split, engines sharing a plane split the total
+//    between them, and a warm start reports zero.
 //
 //  * RunSharedPass — the traversal driver: ONE iterative, recursion-free
 //    (explicit-stack) depth-first walk that drives any number of engines in
@@ -58,10 +73,11 @@
 //
 // The per-node work of the original Visit() is aggressively hoisted into
 // intern time: each Config precomputes its intra-node ε-edge pairs, operator
-// operand positions, and annotated-state positions, and each memoized
-// transition precomputes the parent→child cans label-edge pairs and the
-// fstates↑ fold pairs. The hot path is then pure array traffic — no binary
-// searches, no position stamping.
+// operand positions (in the CompiledMfa's stratified sweep order), and
+// annotated-state positions, and each memoized transition precomputes the
+// parent→child cans label-edge pairs and the fstates↑ fold pairs. The hot
+// path is then pure array traffic — no binary searches, no position
+// stamping.
 //
 // The explicit stack also removes the recursion of the original Visit(),
 // bounding stack use on documents of arbitrary depth (regression-tested at
@@ -85,10 +101,10 @@
 #include <unordered_map>
 #include <vector>
 
-#include "automata/afa.h"
 #include "automata/mfa.h"
 #include "hype/cans.h"
 #include "hype/index.h"
+#include "hype/transition_plane.h"
 #include "xml/doc_plane.h"
 #include "xml/tree.h"
 
@@ -100,6 +116,9 @@ struct EvalStats {
   int64_t cans_vertices = 0;
   int64_t cans_edges = 0;
   int64_t afa_state_requests = 0;
+  /// TransitionPlane insertions attributed to this engine's calls (zero on a
+  /// fully warm plane; the sum across engines sharing a plane equals the
+  /// plane's total).
   int64_t configs_interned = 0;
 
   /// Fraction of element nodes never visited (the paper reports 78.2% for
@@ -125,6 +144,11 @@ struct HypeOptions {
   /// (sound to leave null: predicates are then evaluated via the tree).
   const xml::DocPlane* plane = nullptr;
 
+  /// Shared compiled query state (see transition_plane.h). Must have been
+  /// built for the same tree, MFA, and index. Null = the engine builds a
+  /// private plane (solo behavior, identical to the pre-split evaluator).
+  std::shared_ptr<TransitionPlane> transition_plane = nullptr;
+
   /// Allows the traversal driver to engage jump mode (see the design note
   /// above). Off forces the full columnar DFS -- equivalence tests and the
   /// bench baseline use this; answers/statistics are identical either way.
@@ -133,14 +157,15 @@ struct HypeOptions {
 
 /// Per-query evaluation state of Algorithm HyPE, driven by RunSharedPass or
 /// the batch sharing driver. One evaluation is Start() (or PrepareRoot +
-/// BeginFrames); the pass; TakeAnswers(). The configuration store persists
-/// across evaluations (repeated Evals get warm transition tables).
+/// BeginFrames); the pass; TakeAnswers(). The transition plane persists
+/// across evaluations AND across engines (repeated or sharded Evals get warm
+/// transition tables).
 class HypeEngine {
  public:
   HypeEngine(const xml::Tree& tree, const automata::Mfa& mfa,
              HypeOptions options = {});
 
-  /// Resets per-run state, builds the context configuration, and opens the
+  /// Resets per-run state, resolves the context configuration, and opens the
   /// context frame. Returns false when the configuration is dead (the pass
   /// can skip this engine entirely; TakeAnswers still yields no answers).
   bool Start(xml::NodeId context);
@@ -161,23 +186,25 @@ class HypeEngine {
 
   const EvalStats& stats() const { return stats_; }
   const SubtreeLabelIndex* index() const { return options_.index; }
+  const std::shared_ptr<TransitionPlane>& transition_plane() const {
+    return options_.transition_plane;
+  }
 
   // ---- low-level hooks for the batch sharing driver (batch_hype.cc) ----
 
-  /// A memoized successor: the child configuration plus the id of the
-  /// precomputed parent→child edge data (cans label edges, fold pairs).
-  struct SuccRef {
-    int32_t config = -1;
-    int32_t aux = -1;
-  };
+  using SuccRef = hype::SuccRef;
 
   /// Like Start, but does not open the context frame (the engine stays
   /// frameless); returns the context configuration id, or -1 when dead.
   int32_t PrepareRoot(xml::NodeId context);
 
   /// The memoized transition out of `config` (no frame side effects; safe to
-  /// call for frameless engines).
-  SuccRef PeekTransition(int32_t config, LabelId tree_label, int32_t eff_set);
+  /// call for frameless engines). Plane insertions are attributed to this
+  /// engine's configs_interned.
+  SuccRef PeekTransition(int32_t config, LabelId tree_label, int32_t eff_set) {
+    return trans_->Transition(config, tree_label, eff_set,
+                              &stats_.configs_interned);
+  }
 
   /// Pushes a child frame for an already-computed successor and runs the
   /// node prologue. Precondition: a frame is open (depth() >= 0).
@@ -194,16 +221,15 @@ class HypeEngine {
   /// Accounts nodes visited framelessly (batch driver bookkeeping).
   void AddVisited(int64_t n) { stats_.elements_visited += n; }
 
-  bool ConfigDead(int32_t config) const { return configs_[config]->dead; }
+  bool ConfigDead(int32_t config) const { return trans_->config(config).dead; }
   bool ConfigHasFinal(int32_t config) const {
-    return configs_[config]->has_final;
+    return trans_->config(config).has_final;
   }
   /// Simple = no AFA requests, nothing annotated: outside a region the
   /// engine's whole per-node behavior is determined by the config id, so the
   /// batch driver needs no frame for it.
   bool ConfigSimple(int32_t config) const {
-    const Config& c = *configs_[config];
-    return c.freq.empty() && !c.any_annotated;
+    return trans_->config(config).IsSimple();
   }
 
   /// The RELEVANT labels of a live simple configuration in no-index mode:
@@ -213,9 +239,11 @@ class HypeEngine {
   /// carrying one is TRANSPARENT for this engine -- entering it changes
   /// nothing observable but the visit counter. Jump-mode drivers skip runs
   /// of transparent positions wholesale (see the design note). Derived once
-  /// per config by probing the full transition row, then cached (sorted).
-  /// Precondition: no index (transitions must not depend on a label set).
-  std::span<const LabelId> RelevantLabels(int32_t config);
+  /// per config by probing the full transition row, then cached in the
+  /// shared plane. Precondition: no index.
+  std::span<const LabelId> RelevantLabels(int32_t config) {
+    return trans_->RelevantLabels(config, &stats_.configs_interned);
+  }
 
   /// True when the driver may skip transparent positions while this engine
   /// holds `config` at its open frame: simple (self-loop behavior is fully
@@ -235,69 +263,7 @@ class HypeEngine {
  private:
   using StateId = automata::StateId;
   using ConfigId = int32_t;
-
-  // A hash-consed evaluation configuration: the selecting states occupied at
-  // a node, which of them were entered by the label move itself (seeds), and
-  // the AFA states requested there.
-  struct Config {
-    std::vector<StateId> mstates;  // sorted
-    std::vector<char> seeds;       // aligned with mstates
-    std::vector<StateId> freq;     // sorted
-    bool any_annotated = false;
-    bool dead = false;             // both sets empty: prune the subtree
-    bool has_final = false;
-    // Precomputed views of freq, so the hot pop path touches only what it
-    // needs: indices of final states, and the transition states with their
-    // move labels (used when interning successor transitions).
-    struct FreqTrans {
-      int idx;
-      StateId target;
-      LabelId label;
-      bool wildcard;
-    };
-    std::vector<int> finals;
-    std::vector<FreqTrans> ftrans;
-    // Same-node operator states: kind, own position in freq, and the slice
-    // [begin, end) of operand_pos holding the operand positions (-1 when an
-    // operand was pruned from freq: absent = false).
-    struct OpSpec {
-      automata::AfaKind kind;
-      int idx;
-      int begin;
-      int end;
-    };
-    std::vector<OpSpec> ops;
-    std::vector<int> operand_pos;
-    // With the split property, operands mostly precede operators in id
-    // order; only Kleene-star loops create back-edges. Without a back-edge a
-    // single ascending sweep reaches the fixpoint.
-    bool needs_iteration = false;
-    // Annotated / final selecting states: (index into mstates, position of
-    // the AFA entry in freq, -1 if pruned) / indices into mstates.
-    std::vector<std::pair<int, int>> annotated;
-    std::vector<int> final_mstates;
-    // Intra-node ε-edges (i, j) within mstates, for cans wiring.
-    std::vector<std::pair<int32_t, int32_t>> eps_pairs;
-    // Lazy transition tables. Without an index: one slot per tree label.
-    // With an index: per label, a short list of (label-set id, successor) --
-    // distinct subtree label-sets per (config, label) are few in practice,
-    // so a linear scan beats hashing.
-    std::vector<SuccRef> next;
-    std::vector<std::vector<std::pair<int32_t, SuccRef>>> next_by_eff;
-    // Relevant-label cache for jump mode (sorted; see RelevantLabels).
-    std::vector<LabelId> relevant;
-    bool relevant_ready = false;
-  };
-
-  // Precomputed per-transition edge data: cans label edges (i in parent
-  // mstates, j in child mstates) and fstates↑ fold pairs (parent fvals
-  // index, child fvals index). aux id -1 in SuccRef = both empty. Entries
-  // are content-interned so compositions over barren chains converge to a
-  // handful of ids.
-  struct TransAux {
-    std::vector<std::pair<int32_t, int32_t>> label_edges;
-    std::vector<std::pair<int32_t, int32_t>> fold_pairs;
-  };
+  using Config = TransitionPlane::Config;
 
   // Reusable per-depth scratch for the traversal.
   struct Frame {
@@ -323,59 +289,42 @@ class HypeEngine {
   }
   Frame& GrowFrames(int depth);
 
-  // Per-(label-set) productivity analysis, memoized for OptHyPE.
-  struct Productive {
-    std::vector<char> sel;
-    std::vector<char> afa_cbt;
-  };
-  const Productive& ProductiveFor(int32_t set_id);
-
-  SuccRef ComputeTransition(ConfigId config, LabelId tree_label,
-                            int32_t eff_set);
-  ConfigId InternConfig();  // interns the tmp_* scratch triple
-  int32_t InternAux(ConfigId from, LabelId tree_label, ConfigId to);
-  int32_t InternAuxContent(TransAux aux);   // content hash-consing
-  int32_t ComposeAux(int32_t a, int32_t b); // (i,j)x(j,k) -> (i,k), memoized
-
-  void RestrictToSeedReachable(std::vector<StateId>* mstates,
-                               std::vector<char>* seeds);
   void EnterNode();  // node prologue for the frame at depth_
+
+  /// Engine-local cache in front of the plane's aux-composition memo: the
+  /// plane side takes a shared lock per lookup, and this runs once per
+  /// barren pass-through node inside every cans region -- a hot path on
+  /// filter-heavy documents. Aux ids are plane-global and immutable, so
+  /// caching them engine-side is free of coherence concerns.
+  int32_t ComposeAuxCached(int32_t a, int32_t b) {
+    uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+                   static_cast<uint32_t>(b);
+    auto it = compose_memo_.find(key);
+    if (it != compose_memo_.end()) return it->second;
+    int32_t id = trans_->ComposeAux(a, b);
+    compose_memo_.emplace(key, id);
+    return id;
+  }
 
   const xml::Tree& tree_;
   const automata::Mfa& mfa_;
   HypeOptions options_;
-  std::vector<LabelId> binding_;  // MFA label id -> tree label id
-  std::unordered_map<int32_t, Productive> productive_cache_;
+  TransitionPlane* trans_;  // = options_.transition_plane.get()
   EvalStats stats_;
-
-  // Configuration store.
-  std::vector<std::unique_ptr<Config>> configs_;
-  std::unordered_map<uint64_t, std::vector<ConfigId>> config_buckets_;
-  std::vector<TransAux> trans_aux_;
-  std::unordered_map<uint64_t, std::vector<int32_t>> aux_buckets_;
-  std::unordered_map<uint64_t, int32_t> compose_memo_;
-  std::unordered_map<xml::NodeId, int32_t> root_config_cache_;
 
   // Per-run state.
   CansGraph cans_;
   std::vector<xml::NodeId> direct_answers_;
   int depth_ = -1;
 
-  // Scratch (epoch-marked visited arrays; per-depth frames; intern buffers).
+  // Scratch (per-depth frames; epoch-marked deleted-state array for the pop
+  // path). 64-bit epoch: a persistent server engine bumps it once per node
+  // pop, which would wrap 32 bits within hours of load.
   std::vector<std::unique_ptr<Frame>> frames_;
-  // 64-bit epochs: a persistent server engine bumps these once per node pop
-  // or transition compute, which would wrap 32 bits within hours of load.
-  std::vector<int64_t> nfa_mark_;
-  std::vector<int64_t> nfa_mark2_;
-  std::vector<int64_t> afa_mark_;
-  int64_t nfa_epoch_ = 0;
-  int64_t nfa_epoch2_ = 0;
-  int64_t afa_epoch_ = 0;
-  std::vector<std::pair<StateId, char>> tagged_;
-  std::vector<StateId> reach_work_;
-  std::vector<StateId> tmp_m_;
-  std::vector<char> tmp_seeds_;
-  std::vector<StateId> tmp_f_;
+  std::vector<int64_t> nfa_deleted_mark_;
+  int64_t nfa_deleted_epoch_ = 0;
+  std::vector<uint64_t> answer_bits_;  // TakeAnswers bitmap-sort scratch
+  std::unordered_map<uint64_t, int32_t> compose_memo_;  // see ComposeAuxCached
 };
 
 /// Statistics of one shared pass (driver-side, per walk not per engine).

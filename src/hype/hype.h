@@ -24,10 +24,12 @@
 // below a child (OptHyPE / OptHyPE-C); transitions are then memoized per
 // (config, label, label-set).
 //
-// The evaluation state and the traversal live in hype/engine.h (HypeEngine +
-// RunSharedPass, an explicit-stack walk that can drive many engines at
-// once); HypeEvaluator is the single-query front end. For evaluating a batch
-// of queries in one shared pass, see hype/batch_hype.h.
+// The per-run evaluation state and the traversal live in hype/engine.h
+// (HypeEngine + RunSharedPass, an explicit-stack walk that can drive many
+// engines at once); the query-derived state -- configuration store, memoized
+// transition tables -- lives in a shareable hype::TransitionPlane
+// (transition_plane.h). HypeEvaluator is the single-query front end. For
+// evaluating a batch of queries in one shared pass, see hype/batch_hype.h.
 
 #ifndef SMOQE_HYPE_HYPE_H_
 #define SMOQE_HYPE_HYPE_H_

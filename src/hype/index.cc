@@ -1,6 +1,7 @@
 #include "hype/index.h"
 
 #include <cassert>
+#include <mutex>
 #include <string>
 
 namespace smoqe::hype {
@@ -78,7 +79,9 @@ int32_t SubtreeLabelIndex::SetForContext(const xml::Tree& tree,
                                          xml::NodeId context) const {
   if (mode_ == Mode::kFull) return per_node_[context];
   {
-    std::lock_guard<std::mutex> lock(context_memo_->mu);
+    // Hit path: shared lock only -- every shard worker and the probe pass
+    // read this memo concurrently, and after warmup nobody writes.
+    std::shared_lock<std::shared_mutex> lock(context_memo_->mu);
     auto it = context_memo_->sets.find(context);
     if (it != context_memo_->sets.end()) return it->second;
   }
@@ -94,7 +97,7 @@ int32_t SubtreeLabelIndex::SetForContext(const xml::Tree& tree,
   }
   assert(found && "root must be indexed");
   (void)found;
-  std::lock_guard<std::mutex> lock(context_memo_->mu);
+  std::unique_lock<std::shared_mutex> lock(context_memo_->mu);
   context_memo_->sets.emplace(context, result);
   return result;
 }

@@ -21,7 +21,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -51,10 +51,11 @@ class SubtreeLabelIndex {
   }
 
   /// Effective set for an arbitrary evaluation context. In compressed mode
-  /// the nearest-indexed-ancestor walk is memoized per context node (under a
-  /// small mutex -- the call sits on cold paths: once per pass, probe, or
-  /// plan, never per node), so repeated batches over the same contexts pay
-  /// the walk once. Thread-safe; copies of the index share the memo.
+  /// the nearest-indexed-ancestor walk is memoized per context node; the
+  /// memo is read concurrently by every shard worker and the probe pass, so
+  /// the hit path takes a SHARED lock (std::shared_mutex) and only a memo
+  /// miss upgrades to the exclusive side. Thread-safe; copies of the index
+  /// share the memo.
   int32_t SetForContext(const xml::Tree& tree, xml::NodeId context) const;
 
   bool Contains(int32_t set_id, LabelId tree_label) const {
@@ -84,10 +85,11 @@ class SubtreeLabelIndex {
  private:
   // Context -> effective-set memo for the compressed mode's ancestor walk.
   // Heap-held behind a shared_ptr so the index stays copy/movable (Build
-  // returns by value); mutex-guarded because one index is read concurrently
-  // by every shard.
+  // returns by value). Read-mostly: concurrent shard workers take the
+  // shared side on hits, writers the exclusive side on the first walk per
+  // context.
   struct ContextMemo {
-    std::mutex mu;
+    std::shared_mutex mu;
     std::unordered_map<xml::NodeId, int32_t> sets;
   };
 

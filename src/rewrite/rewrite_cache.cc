@@ -18,8 +18,7 @@ StatusOr<std::string> RewriteCache::NormalizeQuery(std::string_view query_text) 
   return xpath::ToString(parsed);
 }
 
-StatusOr<std::shared_ptr<const automata::Mfa>> RewriteCache::Get(
-    std::string_view query_text) {
+StatusOr<CompiledQuery> RewriteCache::Get(std::string_view query_text) {
   SMOQE_ASSIGN_OR_RETURN(xpath::PathPtr parsed, xpath::ParseQuery(query_text));
   std::string key = xpath::ToString(parsed);
 
@@ -27,20 +26,24 @@ StatusOr<std::shared_ptr<const automata::Mfa>> RewriteCache::Get(
   if (it != entries_.end()) {
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second);  // most-recent first
-    return lru_.front().mfa;
+    return lru_.front().query;
   }
   ++stats_.misses;
 
-  std::shared_ptr<const automata::Mfa> mfa;
+  CompiledQuery query;
   if (view_ != nullptr) {
     SMOQE_ASSIGN_OR_RETURN(automata::Mfa rewritten,
                            RewriteToMfa(parsed, *view_));
-    mfa = std::make_shared<const automata::Mfa>(std::move(rewritten));
+    query.mfa = std::make_shared<const automata::Mfa>(std::move(rewritten));
   } else {
-    mfa = std::make_shared<const automata::Mfa>(automata::CompileQuery(parsed));
+    query.mfa =
+        std::make_shared<const automata::Mfa>(automata::CompileQuery(parsed));
   }
+  // Flatten once at miss time: every hit hands out the warm CSR mirror.
+  query.compiled = std::make_shared<const automata::CompiledMfa>(
+      automata::CompiledMfa::Build(*query.mfa));
 
-  lru_.push_front(Entry{std::move(key), mfa});
+  lru_.push_front(Entry{std::move(key), query});
   entries_.emplace(std::string_view(lru_.front().key), lru_.begin());
 
   if (options_.capacity > 0 && entries_.size() > options_.capacity) {
@@ -49,7 +52,7 @@ StatusOr<std::shared_ptr<const automata::Mfa>> RewriteCache::Get(
     lru_.pop_back();
     ++stats_.evictions;
   }
-  return mfa;
+  return query;
 }
 
 void RewriteCache::Clear() {

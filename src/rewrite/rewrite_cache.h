@@ -3,8 +3,15 @@
 // The Section-5 rewriting (parse, skeleton construction, product with the
 // view DTD, AFA flattening) is the per-query setup cost of view-based query
 // answering; a server seeing the same query text repeatedly pays it every
-// time. RewriteCache memoizes NORMALIZED query text -> compiled MFA so a
+// time. RewriteCache memoizes NORMALIZED query text -> compiled query so a
 // repeated query skips parsing, rewriting, and compilation entirely.
+//
+// A cache entry is the full reusable artifact of compilation, not just the
+// automaton: the rewritten/compiled Mfa PLUS its automata::CompiledMfa CSR
+// mirror (built once at miss time). A cache hit therefore returns WARM
+// compiled state -- evaluator front-ends seed their hype::TransitionPlane
+// from the mirror instead of re-flattening the automaton per engine, shard,
+// or batch.
 //
 // Keying: the incoming text is parsed and re-printed through the canonical
 // xpath printer, so all spellings of one query share an entry -- whitespace,
@@ -19,8 +26,8 @@
 //  * plain mode (view == nullptr): queries compile directly
 //    (automata::CompileQuery) for querying a document without a view.
 //
-// Entries are shared_ptr<const Mfa>: an evaluator can keep using an MFA
-// after the entry was evicted. Eviction is LRU at `capacity` entries.
+// Entries hand out shared_ptrs: an evaluator can keep using an MFA and its
+// mirror after the entry was evicted. Eviction is LRU at `capacity` entries.
 // The cache is not thread-safe; shard or lock externally.
 
 #ifndef SMOQE_REWRITE_REWRITE_CACHE_H_
@@ -34,6 +41,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "automata/compiled_mfa.h"
 #include "automata/mfa.h"
 #include "common/status.h"
 #include "view/view_def.h"
@@ -41,8 +49,8 @@
 namespace smoqe::rewrite {
 
 struct RewriteCacheOptions {
-  /// Maximum cached MFAs; least-recently-used entries are evicted beyond it.
-  /// 0 means unbounded.
+  /// Maximum cached queries; least-recently-used entries are evicted beyond
+  /// it. 0 means unbounded.
   size_t capacity = 1024;
 };
 
@@ -52,6 +60,13 @@ struct RewriteCacheStats {
   int64_t evictions = 0;
 };
 
+/// The reusable compilation artifact of one query: the (rewritten) MFA and
+/// its dense CSR mirror, both immutable and shareable across threads.
+struct CompiledQuery {
+  std::shared_ptr<const automata::Mfa> mfa;
+  std::shared_ptr<const automata::CompiledMfa> compiled;
+};
+
 class RewriteCache {
  public:
   /// `view` may be null (plain mode, see above); when set it must outlive
@@ -59,10 +74,10 @@ class RewriteCache {
   explicit RewriteCache(const view::ViewDef* view,
                         RewriteCacheOptions options = {});
 
-  /// The compiled (rewritten) MFA for `query_text`, from the cache when the
-  /// normalized text was seen before. Parse/rewrite failures are returned
-  /// and not cached.
-  StatusOr<std::shared_ptr<const automata::Mfa>> Get(std::string_view query_text);
+  /// The compiled (rewritten) query for `query_text`, from the cache when
+  /// the normalized text was seen before. Parse/rewrite failures are
+  /// returned and not cached.
+  StatusOr<CompiledQuery> Get(std::string_view query_text);
 
   /// Canonical cache key for a query text (exposed for tests/diagnostics).
   static StatusOr<std::string> NormalizeQuery(std::string_view query_text);
@@ -74,7 +89,7 @@ class RewriteCache {
  private:
   struct Entry {
     std::string key;
-    std::shared_ptr<const automata::Mfa> mfa;
+    CompiledQuery query;
   };
 
   const view::ViewDef* view_;

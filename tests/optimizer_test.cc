@@ -109,6 +109,88 @@ TEST_P(TrimPropertyTest, RandomQueriesUnchangedSemantics) {
 
 INSTANTIATE_TEST_SUITE_P(Rounds, TrimPropertyTest, ::testing::Range(0, 4));
 
+// Randomized optimized ≡ unoptimized property suite: the trimmed MFA must
+// answer EXACTLY like the automaton it came from on every generator tree --
+// compared directly against the unoptimized evaluation (not just against a
+// reference evaluator), in plain and both indexed modes -- and every trim
+// must preserve well-formedness and the split property (Theorem 4.1), which
+// all evaluators rely on for the stratified operator fixpoint.
+class TrimEquivalencePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrimEquivalencePropertyTest, OptimizedEqualsUnoptimizedEverywhere) {
+  auto d = dtd::ParseDtd(
+      "dtd r { r -> a*, b* ; a -> t, a*, b* ; b -> t, c* ; c -> a* ; "
+      "t -> #text ; }");
+  ASSERT_TRUE(d.ok());
+  gen::GenericParams tp;
+  tp.seed = 5200 + GetParam();
+  auto tree = gen::GenerateFromDtd(d.value(), tp);
+  ASSERT_TRUE(tree.ok());
+  const xml::Tree& t = tree.value();
+  hype::SubtreeLabelIndex full =
+      hype::SubtreeLabelIndex::Build(t, hype::SubtreeLabelIndex::Mode::kFull);
+  hype::SubtreeLabelIndex compressed = hype::SubtreeLabelIndex::Build(
+      t, hype::SubtreeLabelIndex::Mode::kCompressed, 4);
+
+  gen::QueryGenParams qp;
+  qp.labels = {"a", "b", "c", "t"};
+  qp.text_values = {"alpha", "beta"};
+  std::mt19937_64 rng(6200 + GetParam());
+  for (int i = 0; i < 15; ++i) {
+    xpath::PathPtr q = gen::RandomQuery(qp, &rng);
+    Mfa original = CompileQuery(q);
+    ASSERT_TRUE(HasSplitProperty(original)) << xpath::ToString(q);
+    Mfa trimmed = TrimMfa(original);
+    EXPECT_TRUE(CheckWellFormed(trimmed).empty()) << xpath::ToString(q);
+    EXPECT_TRUE(HasSplitProperty(trimmed)) << xpath::ToString(q);
+    EXPECT_LE(trimmed.SizeMeasure(), original.SizeMeasure());
+
+    const hype::SubtreeLabelIndex* modes[] = {nullptr, &full, &compressed};
+    for (const hype::SubtreeLabelIndex* index : modes) {
+      hype::HypeOptions options;
+      options.index = index;
+      hype::HypeEvaluator before(t, original, options);
+      hype::HypeEvaluator after(t, trimmed, options);
+      EXPECT_EQ(before.Eval(t.root()), after.Eval(t.root()))
+          << xpath::ToString(q) << " (index mode "
+          << (index == nullptr ? "none" : (index == &full ? "full" : "compressed"))
+          << ")";
+    }
+  }
+}
+
+TEST_P(TrimEquivalencePropertyTest, RewrittenMfasStayEquivalentAfterTrim) {
+  view::ViewDef def = gen::HospitalView();
+  gen::HospitalParams hp;
+  hp.patients = 12;
+  hp.seed = 7300 + GetParam();
+  hp.heart_disease_prob = 0.4;
+  xml::Tree source = gen::GenerateHospital(hp);
+
+  gen::QueryGenParams qp;
+  qp.labels = {"patient", "parent", "record", "diagnosis", "visit"};
+  qp.text_values = {"heart disease"};
+  std::mt19937_64 rng(8300 + GetParam());
+  int compared = 0;
+  for (int i = 0; i < 20; ++i) {
+    xpath::PathPtr q = gen::RandomQuery(qp, &rng);
+    auto mfa = rewrite::RewriteToMfa(q, def);
+    if (!mfa.ok()) continue;  // e.g. not rewritable over this view
+    Mfa trimmed = TrimMfa(mfa.value());
+    EXPECT_TRUE(CheckWellFormed(trimmed).empty()) << xpath::ToString(q);
+    EXPECT_TRUE(HasSplitProperty(trimmed)) << xpath::ToString(q);
+    hype::HypeEvaluator before(source, mfa.value());
+    hype::HypeEvaluator after(source, trimmed);
+    EXPECT_EQ(before.Eval(source.root()), after.Eval(source.root()))
+        << xpath::ToString(q);
+    ++compared;
+  }
+  EXPECT_GT(compared, 0) << "no rewritable query in 20 draws";
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, TrimEquivalencePropertyTest,
+                         ::testing::Range(0, 4));
+
 TEST(TrimTest, RewrittenAndTrimmedAgreeOnHospital) {
   view::ViewDef def = gen::HospitalView();
   gen::HospitalParams hp;

@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "automata/compiler.h"
 #include "eval/naive_evaluator.h"
@@ -39,12 +42,52 @@ TEST(RewriteCacheTest, NormalizationMergesSpellings) {
   ASSERT_TRUE(b.ok());
   ASSERT_TRUE(c.ok());
   ASSERT_TRUE(d.ok());
-  EXPECT_EQ(a.value().get(), b.value().get());
-  EXPECT_EQ(a.value().get(), c.value().get());
-  EXPECT_EQ(a.value().get(), d.value().get());
+  EXPECT_EQ(a.value().mfa.get(), b.value().mfa.get());
+  EXPECT_EQ(a.value().mfa.get(), c.value().mfa.get());
+  EXPECT_EQ(a.value().mfa.get(), d.value().mfa.get());
+  // A hit returns the warm compiled mirror, not just the automaton.
+  ASSERT_NE(a.value().compiled, nullptr);
+  EXPECT_EQ(a.value().compiled.get(), d.value().compiled.get());
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.stats().misses, 1);
   EXPECT_EQ(cache.stats().hits, 3);
+}
+
+TEST(RewriteCacheTest, CompiledMirrorMatchesMfa) {
+  RewriteCache cache(nullptr);
+  auto q = cache.Get("a/b[c]/d");
+  ASSERT_TRUE(q.ok());
+  const automata::Mfa& mfa = *q.value().mfa;
+  const automata::CompiledMfa& cm = *q.value().compiled;
+  ASSERT_EQ(cm.num_nfa_states(), mfa.num_nfa_states());
+  ASSERT_EQ(cm.num_afa_states(), mfa.num_afa_states());
+  EXPECT_EQ(cm.start, mfa.start);
+  for (automata::StateId s = 0; s < mfa.num_nfa_states(); ++s) {
+    EXPECT_EQ(cm.IsNfaFinal(s), mfa.nfa[s].is_final);
+    EXPECT_EQ(cm.afa_entry[s], mfa.nfa[s].afa_entry);
+    size_t labeled = 0, wild = 0;
+    for (const automata::NfaTransition& t : mfa.nfa[s].trans) {
+      (t.wildcard ? wild : labeled) += 1;
+    }
+    EXPECT_EQ(cm.TransOf(s).size(), labeled);
+    EXPECT_EQ(cm.WildOf(s).size(), wild);
+    EXPECT_EQ(cm.EpsOf(s).size(), mfa.nfa[s].eps.size());
+    // The precomputed closure agrees with the reference EpsClosure.
+    std::vector<automata::StateId> closure = {s};
+    automata::EpsClosure(mfa, &closure);
+    std::span<const automata::StateId> got = cm.ClosureOf(s);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), closure.begin(),
+                           closure.end()));
+  }
+  // Stratified order: operands precede their operators unless they share a
+  // strongly connected component (Kleene cycle).
+  for (automata::StateId s = 0; s < mfa.num_afa_states(); ++s) {
+    for (automata::StateId o : cm.OperandsOf(s)) {
+      if (cm.afa_scc[o] != cm.afa_scc[s]) {
+        EXPECT_LT(cm.afa_rank[o], cm.afa_rank[s]);
+      }
+    }
+  }
 }
 
 TEST(RewriteCacheTest, NormalizeQueryIsCanonical) {
@@ -65,9 +108,9 @@ TEST(RewriteCacheTest, PlainModeAnswersMatchFreshCompilation) {
   // Second lookup returns the same MFA from the cache.
   auto again = cache.Get(query);
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(cached.value().get(), again.value().get());
+  EXPECT_EQ(cached.value().mfa.get(), again.value().mfa.get());
 
-  hype::HypeEvaluator eval(tree, *cached.value());
+  hype::HypeEvaluator eval(tree, *cached.value().mfa);
   auto parsed = xpath::ParseQuery(query);
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(eval.Eval(tree.root()),
@@ -90,7 +133,7 @@ TEST(RewriteCacheTest, ViewModeAnswersMatchFreshRewrite) {
   auto fresh = RewriteToMfa(parsed.value(), def);
   ASSERT_TRUE(fresh.ok());
 
-  hype::HypeEvaluator cached_eval(source, *cached.value());
+  hype::HypeEvaluator cached_eval(source, *cached.value().mfa);
   hype::HypeEvaluator fresh_eval(source, fresh.value());
   EXPECT_EQ(cached_eval.Eval(source.root()), fresh_eval.Eval(source.root()));
 }
