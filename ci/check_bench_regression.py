@@ -23,12 +23,20 @@ Understands all four smoke formats:
     re-runs at zero insertions);
   * BENCH_rewrite.json: {"compiles_per_sec", "cache_hits_per_sec",
     "cold_starts_per_sec", "warm_starts_per_sec", "counters": {...}} --
-    gates the four rates plus the configs_interned counters.
+    gates the four rates plus the configs_interned counters;
+  * BENCH_mutation.json: {"mutation": {"read_only_qps", "mixed_qps",
+    "writes_per_sec", "advances_per_sec", "counters": {...}}} -- gates the
+    rates plus the warm-advance interning counter (a warm delta
+    re-evaluation that interns configurations again means the standing
+    queries stopped reusing the shared transition plane).
 
 A missing/unreadable baseline is not an error (first run on a branch, expired
-artifact): the gate prints a warning and passes, so the pipeline bootstraps
-itself. Smoke runs on shared runners are noisy; the qps tolerance is
-deliberately loose and only guards against step-function regressions.
+artifact, a bench newly added like BENCH_mutation.json): the gate prints a
+warning and passes, so the pipeline bootstraps itself. A baseline metric
+whose qps reads zero is likewise skipped with a warning (a degenerate
+artifact must not wedge the gate with divide-by-zero ratios). Smoke runs on
+shared runners are noisy; the qps tolerance is deliberately loose and only
+guards against step-function regressions.
 """
 
 import argparse
@@ -57,6 +65,11 @@ def extract_metrics(data):
         for key in ("compiles_per_sec", "cache_hits_per_sec",
                     "cold_starts_per_sec", "warm_starts_per_sec"):
             metrics[f"rewrite/{key}"] = data[key]
+    mutation = data.get("mutation", {})  # BENCH_mutation.json
+    for key in ("read_only_qps", "mixed_qps", "writes_per_sec",
+                "advances_per_sec"):
+        if key in mutation:
+            metrics[f"mutation/{key}"] = mutation[key]
     return metrics
 
 
@@ -72,6 +85,8 @@ def extract_counters(data):
                     "configs_interned_sharded_warm_delta"):
             if key in row:
                 counters[f"docplane/{row['name']}/{key}"] = row[key]
+    for name, value in data.get("mutation", {}).get("counters", {}).items():
+        counters[f"mutation/{name}"] = value  # BENCH_mutation.json
     return counters
 
 
@@ -96,10 +111,17 @@ def main():
               "skipping the regression gate")
         return 0
 
-    with open(args.current) as f:
-        current_data = json.load(f)
-    current = extract_metrics(current_data)
-    current_counters = extract_counters(current_data)
+    try:
+        with open(args.current) as f:
+            current_data = json.load(f)
+        current = extract_metrics(current_data)
+        current_counters = extract_counters(current_data)
+    except (OSError, ValueError, KeyError) as e:
+        # The bench that should have produced the artifact failed or wrote
+        # garbage: fail the gate, but with a diagnosis instead of a
+        # traceback.
+        print(f"ERROR: no usable current artifact at {args.current} ({e})")
+        return 1
 
     failures = []
     for name, base_qps in sorted(baseline.items()):
@@ -108,7 +130,11 @@ def main():
                   "configuration no longer emitted, not gated")
             continue
         cur_qps = current[name]
-        ratio = cur_qps / base_qps if base_qps > 0 else float("inf")
+        if base_qps <= 0:
+            print(f"  [skipped] {name}: baseline qps is {base_qps}, "
+                  "not gated (degenerate baseline artifact)")
+            continue
+        ratio = cur_qps / base_qps
         status = "OK" if ratio >= 1.0 - args.tolerance else "REGRESSED"
         print(f"  [{status:>9}] {name}: {base_qps:.0f} -> {cur_qps:.0f} qps "
               f"({ratio:.1%} of baseline)")

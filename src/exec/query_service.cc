@@ -50,13 +50,19 @@ QueryService::QueryService(const xml::Tree& tree, QueryServiceOptions options)
       cache_(options_.view, {.capacity = options_.cache_capacity}),
       dispatcher_([this] { DispatcherLoop(); }) {}
 
-QueryService::~QueryService() {
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
+    // Notify UNDER the lock: an unlocked notify could touch the condition
+    // variable after a racing destructor finished tearing it down.
+    cv_.notify_all();
   }
-  cv_.notify_all();
-  dispatcher_.join();
+  // First caller joins; concurrent callers block here until the join
+  // completes, so Shutdown() never returns with the dispatcher live.
+  std::call_once(join_once_, [this] { dispatcher_.join(); });
 }
 
 std::future<QueryService::Answer> QueryService::Submit(
@@ -74,8 +80,11 @@ std::future<QueryService::Answer> QueryService::Submit(
     }
     ++stats_.queries_submitted;
     pending_.push_back(std::move(p));
+    // Under the lock for the same lifetime reason as in Shutdown: after we
+    // release mu_, a racing Shutdown/destructor may run to completion, and
+    // cv_ must not be touched past that point.
+    cv_.notify_all();
   }
-  cv_.notify_all();
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -102,15 +103,25 @@ class QueryService {
   explicit QueryService(const xml::Tree& tree,
                         QueryServiceOptions options = {});
 
-  /// Drains and answers everything already submitted, then stops.
+  /// Drains and answers everything already submitted, then stops
+  /// (delegates to Shutdown()).
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
+  /// Stops admission, drains, and joins the dispatcher. Idempotent and
+  /// thread-safe: concurrent callers all block until the drain completes.
+  /// A Submit racing Shutdown is either admitted into the drain (its
+  /// future resolves to the query's answer) or fails fast with a status --
+  /// it never hangs on a future no dispatcher will fulfill. Must not be
+  /// called from a Submit callback or the dispatcher itself.
+  void Shutdown();
+
   /// Thread-safe; callable from any number of client threads. The future
   /// resolves to the sorted answer-node ids, or to the parse/rewrite error.
-  /// After the destructor has begun, resolves to an error immediately.
+  /// After Shutdown (or the destructor) has begun, resolves to an error
+  /// immediately.
   std::future<Answer> Submit(std::string query_text);
 
   /// Submit + wait, for single-shot callers.
@@ -160,6 +171,7 @@ class QueryService {
   std::deque<Pending> pending_;
   QueryServiceStats stats_;
   bool stop_ = false;
+  std::once_flag join_once_;  // exactly one Shutdown caller joins
 
   std::thread dispatcher_;  // constructed last, joined first
 };

@@ -80,25 +80,39 @@ int32_t SubtreeLabelIndex::SetForContext(const xml::Tree& tree,
   if (mode_ == Mode::kFull) return per_node_[context];
   {
     // Hit path: shared lock only -- every shard worker and the probe pass
-    // read this memo concurrently, and after warmup nobody writes.
+    // read this memo concurrently, and after warmup nobody writes. The
+    // value is copied out under the lock; holding a reference into the map
+    // across the release would race a concurrent inserter's rehash.
     std::shared_lock<std::shared_mutex> lock(context_memo_->mu);
     auto it = context_memo_->sets.find(context);
     if (it != context_memo_->sets.end()) return it->second;
   }
+  // Miss: take the write lock FIRST, re-check, and do the ancestor walk
+  // while holding it. Racing misses on the same context (every shard of a
+  // batch resolves the same context at once) then dedupe to one O(depth)
+  // walk instead of N, and nobody ever upgrades a lock mid-lookup. The
+  // walked suffix shares one nearest-indexed-ancestor, so memoizing the
+  // whole path makes later contexts on it O(1).
+  std::unique_lock<std::shared_mutex> lock(context_memo_->mu);
+  auto it = context_memo_->sets.find(context);
+  if (it != context_memo_->sets.end()) return it->second;
   int32_t result = 0;
   bool found = false;
+  xml::NodeId stop = xml::kNullNode;  // first node with an entry
   for (xml::NodeId n = context; n != xml::kNullNode; n = tree.parent(n)) {
-    auto it = sparse_.find(n);
-    if (it != sparse_.end()) {
-      result = it->second;
+    auto sp = sparse_.find(n);
+    if (sp != sparse_.end()) {
+      result = sp->second;
       found = true;
+      stop = n;
       break;
     }
   }
   assert(found && "root must be indexed");
   (void)found;
-  std::unique_lock<std::shared_mutex> lock(context_memo_->mu);
-  context_memo_->sets.emplace(context, result);
+  for (xml::NodeId n = context; n != stop; n = tree.parent(n)) {
+    context_memo_->sets.emplace(n, result);
+  }
   return result;
 }
 

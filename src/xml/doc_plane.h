@@ -51,7 +51,13 @@
 //
 // The plane borrows the tree it mirrors (like SubtreeLabelIndex); it is
 // immutable after construction and safe to share read-only across threads.
-// It does not observe later tree mutations -- build it last.
+// It does not observe later tree mutations. When the tree DOES mutate,
+// DocPlane::Maintainer derives the next plane from the previous one by
+// splicing the columnar arrays (memmove-style, no pointer-chasing DFS):
+// each bounded-region edit patches extents along the ancestor chain, shifts
+// the per-label posting lists, and re-derives only the suffix of the
+// NodeId<->position map that actually moved. xml::EpochPublisher
+// (plane_epoch.h) wraps that into copy-on-write snapshots.
 
 #ifndef SMOQE_XML_DOC_PLANE_H_
 #define SMOQE_XML_DOC_PLANE_H_
@@ -62,6 +68,7 @@
 #include <vector>
 
 #include "common/name_table.h"
+#include "common/status.h"
 #include "xml/tree.h"
 
 namespace smoqe::xml {
@@ -105,9 +112,18 @@ class DocPlane {
 
   size_t MemoryBytes() const;
 
+  /// Field-by-field equality (labels, parents, depths, extents, text bits,
+  /// NodeId maps, postings). The bit-identity oracle for the incremental
+  /// maintainer: a patched plane must SameAs a from-scratch Build.
+  bool SameAs(const DocPlane& other) const;
+
   /// Incremental preorder emission, for builders that already walk the
   /// document depth-first (the materializer); defined below the class.
   class Builder;
+
+  /// Patches an existing plane after bounded-region tree edits; defined
+  /// below Builder.
+  class Maintainer;
 
  private:
   std::vector<LabelId> labels_;
@@ -126,9 +142,18 @@ class DocPlane {
 /// Usage per element: Enter at creation, Exit once its whole subtree is
 /// emitted; MarkText when a text child is appended. Finish packs the arrays
 /// once the root has exited.
+///
+/// Misuse (MarkText/Exit with no open position, a second root after the
+/// first closed, Finish with positions still open) is recorded in status()
+/// and the offending call becomes a no-op: silently accepting it used to
+/// corrupt text-presence bits and extents, which the Maintainer would then
+/// inherit into every later epoch. Finish on an errored builder returns an
+/// empty plane; callers that can fail mid-emission (the materializer's
+/// error paths) may simply abandon the builder.
 class DocPlane::Builder {
  public:
-  /// Opens a position for an element. Calls must be properly nested.
+  /// Opens a position for an element. Calls must be properly nested;
+  /// returns -1 (and records status) on a second root.
   int32_t Enter(LabelId label, NodeId node);
   /// Flags the innermost open position as having a text child.
   void MarkText();
@@ -136,11 +161,60 @@ class DocPlane::Builder {
   /// `tree_size`/`num_labels` size the NodeId map and the posting table.
   DocPlane Finish(int32_t tree_size, int32_t num_labels);
 
+  /// OK, or the first misuse this builder saw.
+  const Status& status() const { return status_; }
+
  private:
+  void Fail(const char* what);
+
   DocPlane plane_;
   std::vector<int32_t> open_;  // stack of positions awaiting Exit
   // Per-label postings accumulated before pooling (positions arrive in
   // increasing order, so each list is born sorted).
+  std::vector<std::vector<int32_t>> postings_;
+  Status status_;
+};
+
+/// Derives the plane of an edited tree from the plane of its predecessor.
+///
+/// Construction unpacks the base plane's packed forms (text bits, posting
+/// pool) into splice-friendly working arrays -- one O(plane) pass. Each
+/// Apply* then patches a bounded region: array splices for the edited
+/// subtree's rows, an extent walk up the ancestor chain, posting-list
+/// shifts, and a suffix refresh of the position map. Take() repacks into an
+/// immutable DocPlane that is bit-identical (SameAs) to DocPlane::Build on
+/// the edited tree -- the property the randomized delta tests and the
+/// bench_mutation gate enforce.
+///
+/// Apply* calls mirror Tree edits and must be issued AFTER the tree edit,
+/// in the same order. One Maintainer serves many edits; Take() consumes it.
+class DocPlane::Maintainer {
+ public:
+  explicit Maintainer(const DocPlane& base);
+
+  /// After Tree::Relabel(node, ...): patch the label column + postings.
+  void ApplyRelabel(const Tree& tree, NodeId node);
+  /// After Tree::DetachSubtree(victim): splice the subtree's rows out.
+  void ApplyDelete(NodeId victim);
+  /// After inserting `fragment_root` (and its subtree) into the tree:
+  /// splice the fragment's freshly-built rows in.
+  void ApplyInsert(const Tree& tree, NodeId fragment_root);
+
+  /// Repacks into an immutable plane for `tree` (which must reflect every
+  /// applied edit). The maintainer is spent afterwards.
+  DocPlane Take(const Tree& tree);
+
+ private:
+  void RefreshPosOf(int32_t from_pos);
+
+  // Working (unpacked) columns; same meaning as the DocPlane members.
+  std::vector<LabelId> labels_;
+  std::vector<int32_t> parent_;
+  std::vector<int32_t> depth_;
+  std::vector<int32_t> extent_;
+  std::vector<uint8_t> text_;  // unpacked text_bits_
+  std::vector<NodeId> node_of_;
+  std::vector<int32_t> pos_of_;  // grown on demand as the arena grows
   std::vector<std::vector<int32_t>> postings_;
 };
 

@@ -1,0 +1,144 @@
+#include "xml/plane_epoch.h"
+
+#include <utility>
+
+namespace smoqe::xml {
+
+EpochPublisher::EpochPublisher(Tree initial) {
+  live_ = std::make_shared<Tree>(std::move(initial));
+  epoch_.tree = live_;
+  epoch_.plane = std::make_shared<DocPlane>(DocPlane::Build(*live_));
+  epoch_.version = 0;
+}
+
+PlaneEpoch EpochPublisher::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+uint64_t EpochPublisher::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_.version;
+}
+
+std::shared_ptr<Tree> EpochPublisher::AcquireWritable(const PlaneEpoch& current,
+                                                      bool* recycled) {
+  std::shared_ptr<Tree> candidate;
+  uint64_t candidate_version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t log_front =
+        log_.empty() ? current.version : log_.front().from_version();
+    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+      // use_count()==1 means the pool holds the only reference: every
+      // snapshot of that epoch has been released, so mutation is private.
+      // The log must reach back to the replica's version to roll it
+      // forward.
+      if (it->tree.use_count() == 1 && it->version >= log_front &&
+          it->version <= current.version) {
+        candidate = std::move(it->tree);
+        candidate_version = it->version;
+        pool_.erase(it);
+        break;
+      }
+    }
+  }
+  if (candidate) {
+    // Replay is deterministic (see tree_delta.h): the rolled-forward
+    // replica is id-for-id identical to the published tree. The log is a
+    // version chain (admission guarantees each delta starts where the
+    // previous ended), so walk it from the replica's version. Reading log_
+    // without the lock is safe: Apply is the only mutator and we are
+    // inside Apply (single-writer).
+    bool ok = true;
+    uint64_t v = candidate_version;
+    for (const TreeDelta& step : log_) {
+      if (v == current.version) break;
+      if (step.to_version() <= v) continue;
+      if (step.from_version() != v ||
+          !step.ApplyTo(candidate.get()).ok()) {
+        ok = false;  // gap or replay failure: fall back to a clone
+        break;
+      }
+      v = step.to_version();
+    }
+    if (ok && v == current.version) {
+      *recycled = true;
+      return candidate;
+    }
+  }
+  *recycled = false;
+  return std::make_shared<Tree>(*current.tree);
+}
+
+Status EpochPublisher::Apply(const TreeDelta& delta) {
+  const PlaneEpoch current = Snapshot();
+  if (delta.from_version() != current.version) {
+    return Status::FailedPrecondition(
+        "delta from_version " + std::to_string(delta.from_version()) +
+        " does not admit against epoch " + std::to_string(current.version));
+  }
+
+  // Patch-vs-rebuild heuristic: estimate how many element rows the delta
+  // moves; past a quarter of the document, splicing loses to one DFS.
+  int64_t touched = 0;
+  for (const DeltaOp& op : delta.ops()) {
+    switch (op.kind) {
+      case DeltaOpKind::kInsert:
+        touched += op.fragment.CountElements();
+        break;
+      case DeltaOpKind::kDelete:
+        if (op.target >= 0 && op.target < current.tree->size() &&
+            current.tree->is_element(op.target)) {
+          touched += current.tree->CountSubtreeElements(op.target);
+        }
+        break;
+      case DeltaOpKind::kRelabel:
+        touched += 1;
+        break;
+    }
+  }
+  const bool patch = touched * 4 <= current.tree->CountElements();
+
+  bool recycled = false;
+  std::shared_ptr<Tree> next = AcquireWritable(current, &recycled);
+
+  std::shared_ptr<const DocPlane> next_plane;
+  if (patch) {
+    DocPlane::Maintainer maintainer(*current.plane);
+    SMOQE_RETURN_IF_ERROR(delta.ApplyTo(next.get(), &maintainer));
+    next_plane = std::make_shared<DocPlane>(maintainer.Take(*next));
+  } else {
+    SMOQE_RETURN_IF_ERROR(delta.ApplyTo(next.get()));
+    next_plane = std::make_shared<DocPlane>(DocPlane::Build(*next));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_.push_back({std::move(live_), epoch_.version});
+  if (pool_.size() > kMaxPool) pool_.erase(pool_.begin());
+  log_.push_back(delta);
+  while (log_.size() > kMaxLog) log_.pop_front();
+  live_ = std::move(next);
+  epoch_.tree = live_;
+  epoch_.plane = std::move(next_plane);
+  epoch_.version = delta.to_version();
+  ++stats_.epochs_published;
+  if (recycled) {
+    ++stats_.replicas_recycled;
+  } else {
+    ++stats_.replicas_cloned;
+  }
+  if (patch) {
+    ++stats_.planes_patched;
+  } else {
+    ++stats_.planes_rebuilt;
+  }
+  return Status::OK();
+}
+
+EpochPublisher::Stats EpochPublisher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace smoqe::xml

@@ -30,6 +30,115 @@ NodeId Tree::AddText(NodeId parent, std::string_view text) {
   return Append(parent, n);
 }
 
+void Tree::Relabel(NodeId id, std::string_view label) {
+  assert(id >= 0 && id < size() && is_element(id));
+  nodes_[id].label = labels_.Intern(label);
+}
+
+void Tree::DetachSubtree(NodeId id) {
+  assert(id >= 0 && id < size() && id != root_);
+  const NodeId parent = nodes_[id].parent;
+  assert(parent != kNullNode && "cannot detach the root");
+  Node& p = nodes_[parent];
+  // Unlink from the sibling chain (prev is found by a forward walk; child
+  // lists are singly linked).
+  if (p.first_child == id) {
+    p.first_child = nodes_[id].next_sibling;
+  } else {
+    NodeId prev = p.first_child;
+    while (nodes_[prev].next_sibling != id) prev = nodes_[prev].next_sibling;
+    nodes_[prev].next_sibling = nodes_[id].next_sibling;
+  }
+  if (p.last_child == id) {
+    NodeId last = p.first_child;
+    if (last == kNullNode) {
+      p.last_child = kNullNode;
+    } else {
+      while (nodes_[last].next_sibling != kNullNode) {
+        last = nodes_[last].next_sibling;
+      }
+      p.last_child = last;
+    }
+  }
+  for (NodeId s = nodes_[id].next_sibling; s != kNullNode;
+       s = nodes_[s].next_sibling) {
+    --nodes_[s].child_index;
+  }
+  nodes_[id].parent = kNullNode;
+  nodes_[id].next_sibling = kNullNode;
+  // One walk counts both kinds so CountElements/CountTexts keep reporting
+  // REACHABLE nodes only.
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    ++num_detached_;
+    if (is_element(n)) --num_elements_;
+    for (NodeId c = first_child(n); c != kNullNode; c = next_sibling(c)) {
+      stack.push_back(c);
+    }
+  }
+}
+
+NodeId Tree::InsertElementBefore(NodeId parent, NodeId before,
+                                 std::string_view label) {
+  assert(parent >= 0 && parent < size() && is_element(parent));
+  Node n;
+  n.kind = NodeKind::kElement;
+  n.label = labels_.Intern(label);
+  return InsertBefore(parent, before, n);
+}
+
+NodeId Tree::InsertTextBefore(NodeId parent, NodeId before,
+                              std::string_view text) {
+  assert(parent >= 0 && parent < size() && is_element(parent));
+  Node n;
+  n.kind = NodeKind::kText;
+  n.text = static_cast<int32_t>(texts_.size());
+  texts_.emplace_back(text);
+  return InsertBefore(parent, before, n);
+}
+
+NodeId Tree::InsertBefore(NodeId parent, NodeId before, Node node) {
+  if (before == kNullNode) return Append(parent, node);
+  assert(nodes_[before].parent == parent && "`before` must be a child");
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  if (node.kind == NodeKind::kElement) ++num_elements_;
+  node.parent = parent;
+  node.next_sibling = before;
+  node.child_index = nodes_[before].child_index;
+  Node& p = nodes_[parent];
+  if (p.first_child == before) {
+    p.first_child = id;
+  } else {
+    NodeId prev = p.first_child;
+    while (nodes_[prev].next_sibling != before) {
+      prev = nodes_[prev].next_sibling;
+    }
+    nodes_[prev].next_sibling = id;
+  }
+  for (NodeId s = before; s != kNullNode; s = nodes_[s].next_sibling) {
+    ++nodes_[s].child_index;
+  }
+  nodes_.push_back(node);
+  return id;
+}
+
+int32_t Tree::CountSubtreeElements(NodeId id) const {
+  int32_t count = 0;
+  // Iterative DFS confined to the subtree (safe at any depth).
+  std::vector<NodeId> stack = {id};
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    if (is_element(n)) ++count;
+    for (NodeId c = first_child(n); c != kNullNode; c = next_sibling(c)) {
+      stack.push_back(c);
+    }
+  }
+  return count;
+}
+
 NodeId Tree::Append(NodeId parent, Node node) {
   NodeId id = static_cast<NodeId>(nodes_.size());
   if (node.kind == NodeKind::kElement) ++num_elements_;

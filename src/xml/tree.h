@@ -8,6 +8,19 @@
 // every root-to-leaf path; builders that append in depth-first order (the
 // XML parser, the materializer) additionally make NodeId order coincide with
 // document order. Answer sets are reported as sorted id vectors.
+//
+// MUTATION. A tree is mutable by a SINGLE writer: Relabel, DetachSubtree and
+// InsertElementBefore/InsertTextBefore edit the sibling links in place.
+// NodeIds are stable across edits -- a detached subtree's arena slots are
+// simply unreachable from the root (traversals never see them again; the
+// slots are not compacted), and inserted nodes take fresh ids at the end of
+// the arena, so "parents precede children" keeps holding while sibling id
+// order stops implying document order (xml::DocPlane::Build handles any
+// order). Mutating a tree that concurrent readers are traversing is a data
+// race; xml::EpochPublisher (plane_epoch.h) provides the copy-on-write
+// snapshot discipline that lets readers and one writer coexist, and
+// xml::TreeDelta (tree_delta.h) is the composable/invertible edit unit the
+// publisher applies.
 
 #ifndef SMOQE_XML_TREE_H_
 #define SMOQE_XML_TREE_H_
@@ -48,6 +61,30 @@ class Tree {
   /// Appends a text child to `parent`.
   NodeId AddText(NodeId parent, std::string_view text);
 
+  // ---- mutation (single writer; see the header note) ----
+
+  /// Changes the label of an element node (interning `label` if new).
+  void Relabel(NodeId id, std::string_view label);
+
+  /// Unlinks the subtree rooted at `id` (any node but the root) from the
+  /// document. The slots keep their ids but become unreachable; following
+  /// siblings are renumbered (child_index). O(subtree + later siblings).
+  void DetachSubtree(NodeId id);
+
+  /// Inserts a new element child of `parent` immediately before `before`
+  /// (which must be a child of `parent`), or as the last child when `before`
+  /// is kNullNode. The new node gets a fresh id at the end of the arena;
+  /// following siblings are renumbered.
+  NodeId InsertElementBefore(NodeId parent, NodeId before,
+                             std::string_view label);
+
+  /// Text-node counterpart of InsertElementBefore.
+  NodeId InsertTextBefore(NodeId parent, NodeId before, std::string_view text);
+
+  /// Element nodes in the subtree rooted at `id` (including `id` when it is
+  /// an element). Iterative; O(subtree).
+  int32_t CountSubtreeElements(NodeId id) const;
+
   NodeId root() const { return root_; }
   bool empty() const { return nodes_.empty(); }
   int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
@@ -77,9 +114,14 @@ class Tree {
   const NameTable& labels() const { return labels_; }
   NameTable* mutable_labels() { return &labels_; }
 
-  /// Number of element (resp. text) nodes. O(1).
+  /// Number of REACHABLE element (resp. text) nodes -- detached subtrees are
+  /// excluded, though their arena slots still count toward size(). O(1).
   int32_t CountElements() const { return num_elements_; }
-  int32_t CountTexts() const { return size() - num_elements_; }
+  int32_t CountTexts() const { return size() - num_elements_ - num_detached_; }
+
+  /// Arena slots unreachable after DetachSubtree calls (compaction is left
+  /// to a future epoch-rebuild pass). O(1).
+  int32_t CountDetached() const { return num_detached_; }
 
   /// Length of the longest root-to-leaf path (root alone = 1). 0 if empty.
   int32_t Depth() const;
@@ -89,12 +131,14 @@ class Tree {
 
  private:
   NodeId Append(NodeId parent, Node node);
+  NodeId InsertBefore(NodeId parent, NodeId before, Node node);
 
   NameTable labels_;
   std::vector<Node> nodes_;
   std::vector<std::string> texts_;
   NodeId root_ = kNullNode;
   int32_t num_elements_ = 0;
+  int32_t num_detached_ = 0;
 };
 
 }  // namespace smoqe::xml

@@ -1,0 +1,296 @@
+#include "xml/tree_delta.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace smoqe::xml {
+
+namespace {
+
+/// True iff `id` is an element still attached to the document (tombstoned
+/// slots have a null parent but are not the root). O(depth).
+bool IsReachableElement(const Tree& tree, NodeId id) {
+  if (id < 0 || id >= tree.size() || !tree.is_element(id)) return false;
+  NodeId n = id;
+  while (tree.parent(n) != kNullNode) n = tree.parent(n);
+  return n == tree.root();
+}
+
+Status OpError(size_t index, const char* what) {
+  return Status::FailedPrecondition("TreeDelta op #" + std::to_string(index) +
+                                    ": " + what);
+}
+
+/// Capture that also reports each item's source NodeId (parallel to
+/// items). ApplyTo's inverse pass needs the ids to remap undo targets that
+/// point into a deleted-then-reinserted subtree.
+Fragment CaptureWithIds(const Tree& tree, NodeId root,
+                        std::vector<NodeId>* ids) {
+  Fragment out;
+  // Explicit (node, fragment-parent-index) stack; children re-pushed in
+  // reverse so the items come out in document (pre)order.
+  std::vector<std::pair<NodeId, int32_t>> stack = {{root, -1}};
+  std::vector<NodeId> kids;
+  while (!stack.empty()) {
+    auto [n, parent_idx] = stack.back();
+    stack.pop_back();
+    Fragment::Item item;
+    item.is_text = !tree.is_element(n);
+    item.parent = parent_idx;
+    item.value = item.is_text ? tree.text_value(n) : tree.label_name(n);
+    const int32_t idx = static_cast<int32_t>(out.items.size());
+    out.items.push_back(std::move(item));
+    if (ids) ids->push_back(n);
+    kids.clear();
+    for (NodeId c = tree.first_child(n); c != kNullNode;
+         c = tree.next_sibling(c)) {
+      kids.push_back(c);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, idx);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Fragment Fragment::Capture(const Tree& tree, NodeId root) {
+  return CaptureWithIds(tree, root, nullptr);
+}
+
+NodeId Fragment::Instantiate(Tree* tree, NodeId parent,
+                             int32_t before_index) const {
+  NodeId before = kNullNode;
+  if (before_index > 0) {
+    for (NodeId c = tree->first_child(parent); c != kNullNode;
+         c = tree->next_sibling(c)) {
+      if (tree->child_index(c) == before_index) {
+        before = c;
+        break;
+      }
+    }
+  }
+  std::vector<NodeId> ids(items.size(), kNullNode);
+  ids[0] = tree->InsertElementBefore(parent, before, items[0].value);
+  for (size_t i = 1; i < items.size(); ++i) {
+    const Item& item = items[i];
+    const NodeId p = ids[item.parent];
+    ids[i] = item.is_text ? tree->AddText(p, item.value)
+                          : tree->AddElement(p, item.value);
+  }
+  return ids[0];
+}
+
+int32_t Fragment::CountElements() const {
+  int32_t count = 0;
+  for (const Item& item : items) {
+    if (!item.is_text) ++count;
+  }
+  return count;
+}
+
+void TreeDelta::AddInsert(NodeId parent, int32_t before_index,
+                          Fragment fragment) {
+  DeltaOp op;
+  op.kind = DeltaOpKind::kInsert;
+  op.target = parent;
+  op.before_index = before_index;
+  op.fragment = std::move(fragment);
+  ops_.push_back(std::move(op));
+}
+
+void TreeDelta::AddDelete(NodeId victim) {
+  DeltaOp op;
+  op.kind = DeltaOpKind::kDelete;
+  op.target = victim;
+  ops_.push_back(std::move(op));
+}
+
+void TreeDelta::AddRelabel(NodeId node, std::string_view label) {
+  DeltaOp op;
+  op.kind = DeltaOpKind::kRelabel;
+  op.target = node;
+  op.label = std::string(label);
+  ops_.push_back(std::move(op));
+}
+
+Status TreeDelta::ApplyTo(Tree* tree, DocPlane::Maintainer* maintainer,
+                          TreeDelta* inverse,
+                          std::vector<NodeId>* regions) const {
+  std::vector<DeltaOp> undo;  // forward order; reversed into `inverse`
+  // For each undo-insert, the source NodeId of every fragment item (the
+  // deleted subtree's ids); empty for other undo kinds. Feeds the remap
+  // pass below.
+  std::vector<std::vector<NodeId>> undo_ids;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const DeltaOp& op = ops_[i];
+    NodeId region = kNullNode;
+    switch (op.kind) {
+      case DeltaOpKind::kRelabel: {
+        if (!IsReachableElement(*tree, op.target)) {
+          return OpError(i, "relabel target is not a reachable element");
+        }
+        if (inverse) {
+          DeltaOp u;
+          u.kind = DeltaOpKind::kRelabel;
+          u.target = op.target;
+          u.label = tree->label_name(op.target);
+          undo.push_back(std::move(u));
+          undo_ids.emplace_back();
+        }
+        tree->Relabel(op.target, op.label);
+        if (maintainer) maintainer->ApplyRelabel(*tree, op.target);
+        region = tree->parent(op.target) == kNullNode
+                     ? op.target
+                     : tree->parent(op.target);
+        break;
+      }
+      case DeltaOpKind::kDelete: {
+        if (!IsReachableElement(*tree, op.target)) {
+          return OpError(i, "delete victim is not a reachable element");
+        }
+        if (op.target == tree->root()) {
+          return OpError(i, "cannot delete the root");
+        }
+        region = tree->parent(op.target);
+        if (inverse) {
+          // The pre-image: where the subtree sat (by child slot, since
+          // reinsertion allocates fresh ids) and what it contained.
+          DeltaOp u;
+          u.kind = DeltaOpKind::kInsert;
+          u.target = region;
+          u.before_index = tree->child_index(op.target);
+          std::vector<NodeId> ids;
+          u.fragment = CaptureWithIds(*tree, op.target, &ids);
+          undo.push_back(std::move(u));
+          undo_ids.push_back(std::move(ids));
+        }
+        tree->DetachSubtree(op.target);
+        if (maintainer) maintainer->ApplyDelete(op.target);
+        break;
+      }
+      case DeltaOpKind::kInsert: {
+        if (!IsReachableElement(*tree, op.target)) {
+          return OpError(i, "insert parent is not a reachable element");
+        }
+        if (op.fragment.empty() || op.fragment.items[0].is_text ||
+            op.fragment.items[0].parent != -1) {
+          return OpError(i, "fragment must be rooted at an element");
+        }
+        const NodeId root =
+            op.fragment.Instantiate(tree, op.target, op.before_index);
+        if (maintainer) maintainer->ApplyInsert(*tree, root);
+        if (inverse) {
+          DeltaOp u;
+          u.kind = DeltaOpKind::kDelete;
+          u.target = root;
+          undo.push_back(std::move(u));
+          undo_ids.emplace_back();
+        }
+        region = op.target;
+        break;
+      }
+    }
+    if (regions) regions->push_back(region);
+  }
+  if (inverse) {
+    // Undo ops recorded before a delete may target nodes INSIDE the deleted
+    // subtree; by the time they execute (inverse order), that subtree has
+    // been re-instantiated under FRESH ids and the recorded targets are
+    // tombstones. Instantiation is deterministic (fresh ids are allocated
+    // contiguously from the arena end, one per fragment item in order), so
+    // a dry run of the undo sequence on a scratch copy of the post-delta
+    // tree discovers exactly the ids the real inverse application will
+    // allocate -- remap the stale targets through it. Nested
+    // delete-inside-delete chains resolve naturally, since each simulated
+    // undo-insert extends the map before older undos consult it.
+    bool needs_remap = false;
+    for (const DeltaOp& u : undo) {
+      if (u.kind == DeltaOpKind::kInsert) {
+        needs_remap = true;
+        break;
+      }
+    }
+    if (needs_remap && undo.size() > 1) {
+      Tree sim = *tree;
+      std::unordered_map<NodeId, NodeId> remap;
+      for (size_t k = undo.size(); k-- > 0;) {
+        DeltaOp& u = undo[k];
+        auto it = remap.find(u.target);
+        if (it != remap.end()) u.target = it->second;
+        switch (u.kind) {
+          case DeltaOpKind::kRelabel:
+            sim.Relabel(u.target, u.label);
+            break;
+          case DeltaOpKind::kDelete:
+            sim.DetachSubtree(u.target);
+            break;
+          case DeltaOpKind::kInsert: {
+            const NodeId base = sim.size();
+            u.fragment.Instantiate(&sim, u.target, u.before_index);
+            const std::vector<NodeId>& ids = undo_ids[k];
+            for (size_t j = 0; j < ids.size(); ++j) {
+              remap[ids[j]] = base + static_cast<NodeId>(j);
+            }
+            break;
+          }
+        }
+      }
+    }
+    TreeDelta inv;
+    inv.from_version_ = to_version_;
+    inv.to_version_ = from_version_;
+    std::reverse(undo.begin(), undo.end());
+    inv.ops_ = std::move(undo);
+    *inverse = std::move(inv);
+  }
+  return Status::OK();
+}
+
+StatusOr<TreeDelta> TreeDelta::Compose(const TreeDelta& first,
+                                       const TreeDelta& second) {
+  if (first.to_version() != second.from_version()) {
+    return Status::FailedPrecondition(
+        "Compose: version mismatch (" + std::to_string(first.to_version()) +
+        " vs " + std::to_string(second.from_version()) + ")");
+  }
+  TreeDelta out;
+  out.from_version_ = first.from_version_;
+  out.to_version_ = second.to_version_;
+  out.ops_ = first.ops_;
+  out.ops_.insert(out.ops_.end(), second.ops_.begin(), second.ops_.end());
+  return out;
+}
+
+bool StructurallyEqual(const Tree& a, const Tree& b) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty();
+  std::vector<std::pair<NodeId, NodeId>> stack = {{a.root(), b.root()}};
+  std::vector<std::pair<NodeId, NodeId>> kids;
+  while (!stack.empty()) {
+    auto [x, y] = stack.back();
+    stack.pop_back();
+    if (a.kind(x) != b.kind(y)) return false;
+    if (a.is_element(x)) {
+      if (a.label_name(x) != b.label_name(y)) return false;
+    } else {
+      if (a.text_value(x) != b.text_value(y)) return false;
+    }
+    kids.clear();
+    NodeId cx = a.first_child(x);
+    NodeId cy = b.first_child(y);
+    while (cx != kNullNode && cy != kNullNode) {
+      kids.emplace_back(cx, cy);
+      cx = a.next_sibling(cx);
+      cy = b.next_sibling(cy);
+    }
+    if (cx != cy) return false;  // one side has extra children
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return true;
+}
+
+}  // namespace smoqe::xml

@@ -1,0 +1,145 @@
+// TreeDelta: the versioned, composable, invertible edit unit for mutable
+// documents.
+//
+// DESIGN NOTE (diff discipline for a world that was built frozen)
+// ---------------------------------------------------------------
+// Everything downstream of xml::Tree -- the columnar DocPlane, the shared
+// TransitionPlane, the sharded evaluators -- was designed against a frozen
+// document. Mutability therefore does NOT arrive as "call Relabel whenever
+// you like": it arrives as a diff discipline borrowed from Pacemaker's CIB
+// (the cluster information base ships every change as a versioned diff that
+// peers validate, apply, and can invert). A TreeDelta is an ordered list of
+// three op kinds over one tree:
+//
+//   insert   a whole Fragment (self-contained serialized subtree) becomes a
+//            new child of `target`, at 1-based child slot `before_index`
+//            (out-of-range appends). Fragments are captured label/text by
+//            VALUE, so a delta is meaningful beyond the tree it was
+//            recorded on;
+//   delete   the subtree under `target` is detached (ids become tombstones,
+//            see the MUTATION note in tree.h);
+//   relabel  `target`'s element label changes.
+//
+// and carries [from_version, to_version): a delta ADMITS against a tree
+// whose version equals from_version and nothing else -- the publisher
+// (plane_epoch.h) enforces that, exactly like the CIB rejects a patch whose
+// base revision does not match.
+//
+// Three properties make deltas more than a mutation log:
+//
+//  * INVERTIBLE. ApplyTo captures each op's pre-image as it goes (the old
+//    label, the detached subtree as a Fragment, the fresh insert's slot)
+//    and hands back the inverse delta: ops inverted AND reversed, versions
+//    swapped. Applying delta then inverse yields a tree StructurallyEqual
+//    to the original (ids differ -- reinsertion allocates fresh arena
+//    slots, which is why inverse inserts address their slot by child index,
+//    not by NodeId). Undo ops that target a node inside a LATER-deleted
+//    subtree would address tombstones; ApplyTo dry-runs the undo sequence
+//    on a scratch copy and remaps those targets to the (deterministic) ids
+//    the re-instantiation will allocate.
+//  * COMPOSABLE. Compose(a, b) with a.to_version == b.from_version is just
+//    op concatenation, because arena ids are DETERMINISTIC: replaying the
+//    same op sequence on a structurally identical tree allocates the same
+//    ids, so b's id-addressed ops stay valid. The epoch publisher leans on
+//    the same determinism to recycle retired tree replicas by replay.
+//  * PLANE-MAINTAINING. ApplyTo threads an optional DocPlane::Maintainer
+//    through the op loop, so the columnar plane is patched in lockstep with
+//    the tree instead of being rebuilt, and reports each op's REGION ROOT
+//    (the parent whose child list changed; the root for root-level edits) --
+//    the subtree a standing query must re-enter (exec/standing_query.h).
+//
+// Validation is per-op, immediately before that op applies: targets must be
+// reachable elements (never the root for delete), fragments must be rooted
+// at an element. A failed op leaves the tree partially edited -- callers
+// that need all-or-nothing (the publisher) apply deltas to a private
+// replica and discard it on error.
+
+#ifndef SMOQE_XML_TREE_DELTA_H_
+#define SMOQE_XML_TREE_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/doc_plane.h"
+#include "xml/tree.h"
+
+namespace smoqe::xml {
+
+/// A self-contained serialized subtree: labels and text values by VALUE,
+/// structure as preorder parent links. Captured from a live subtree and
+/// instantiable into any tree (interning labels as needed).
+struct Fragment {
+  struct Item {
+    bool is_text = false;
+    int32_t parent = -1;       // index of the parent Item; -1 for the root
+    std::string value;         // element label, or text content
+  };
+  std::vector<Item> items;     // preorder; items[0] is the (element) root
+
+  /// Serializes the subtree under `root` (must be an element). Iterative;
+  /// safe on 100k-deep spines.
+  static Fragment Capture(const Tree& tree, NodeId root);
+
+  /// Materializes the fragment as a child of `parent`, occupying 1-based
+  /// child slot `before_index` (out-of-range = append). Returns the new
+  /// root's id; ids are allocated in preorder, deterministically.
+  NodeId Instantiate(Tree* tree, NodeId parent, int32_t before_index) const;
+
+  int32_t CountElements() const;
+  bool empty() const { return items.empty(); }
+};
+
+enum class DeltaOpKind : uint8_t { kInsert, kDelete, kRelabel };
+
+struct DeltaOp {
+  DeltaOpKind kind = DeltaOpKind::kRelabel;
+  NodeId target = kNullNode;   // insert: the parent; delete: the victim;
+                               // relabel: the node
+  int32_t before_index = 0;    // insert only: 1-based child slot; 0 appends
+  std::string label;           // relabel only: the new label
+  Fragment fragment;           // insert only: the subtree to add
+};
+
+class TreeDelta {
+ public:
+  TreeDelta() = default;
+  explicit TreeDelta(uint64_t from_version)
+      : from_version_(from_version), to_version_(from_version + 1) {}
+
+  void AddInsert(NodeId parent, int32_t before_index, Fragment fragment);
+  void AddDelete(NodeId victim);
+  void AddRelabel(NodeId node, std::string_view label);
+
+  uint64_t from_version() const { return from_version_; }
+  uint64_t to_version() const { return to_version_; }
+  const std::vector<DeltaOp>& ops() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+
+  /// Applies every op in order. Optionally patches `maintainer` in
+  /// lockstep, records the inverse delta into `inverse`, and appends each
+  /// op's region root to `regions` (parallel to ops()). Per-op validation;
+  /// on error the tree is partially edited (see the design note).
+  Status ApplyTo(Tree* tree, DocPlane::Maintainer* maintainer = nullptr,
+                 TreeDelta* inverse = nullptr,
+                 std::vector<NodeId>* regions = nullptr) const;
+
+  /// Concatenation: requires first.to_version() == second.from_version().
+  static StatusOr<TreeDelta> Compose(const TreeDelta& first,
+                                     const TreeDelta& second);
+
+ private:
+  uint64_t from_version_ = 0;
+  uint64_t to_version_ = 1;
+  std::vector<DeltaOp> ops_;
+};
+
+/// Shape equality ignoring NodeIds and tombstoned (detached) slots: same
+/// kinds, label NAMES, text values, and sibling order. Iterative.
+bool StructurallyEqual(const Tree& a, const Tree& b);
+
+}  // namespace smoqe::xml
+
+#endif  // SMOQE_XML_TREE_DELTA_H_

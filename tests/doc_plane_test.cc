@@ -174,6 +174,66 @@ TEST(DocPlaneTest, PostingPoolPacksAllLabels) {
   EXPECT_GT(plane.MemoryBytes(), 0u);
 }
 
+// Builder misuse must surface in status() as a no-op, never as a corrupted
+// plane: accepted-but-wrong text bits and extents would propagate through
+// the Maintainer into every later epoch.
+TEST(DocPlaneTest, BuilderMisuseIsRecordedNotAccepted) {
+  {
+    DocPlane::Builder builder;
+    builder.MarkText();  // nothing open
+    EXPECT_FALSE(builder.status().ok());
+    EXPECT_EQ(builder.Finish(1, 1).size(), 0);
+  }
+  {
+    DocPlane::Builder builder;
+    builder.Exit();  // nothing open
+    EXPECT_FALSE(builder.status().ok());
+  }
+  {
+    DocPlane::Builder builder;
+    builder.Enter(0, 0);
+    builder.Exit();
+    EXPECT_TRUE(builder.status().ok());
+    builder.MarkText();  // root already closed: no open position
+    EXPECT_FALSE(builder.status().ok());
+  }
+  {
+    DocPlane::Builder builder;
+    builder.Enter(0, 0);
+    builder.Exit();
+    EXPECT_EQ(builder.Enter(0, 1), -1);  // second root
+    EXPECT_FALSE(builder.status().ok());
+    EXPECT_EQ(builder.Finish(2, 1).size(), 0);
+  }
+  {
+    DocPlane::Builder builder;
+    builder.Enter(0, 0);
+    builder.Enter(1, 1);
+    builder.Exit();  // inner closed, root still open
+    DocPlane plane = builder.Finish(2, 2);
+    EXPECT_FALSE(builder.status().ok());  // unbalanced Finish
+    EXPECT_EQ(plane.size(), 0);
+  }
+}
+
+TEST(DocPlaneTest, BuilderCleanSequenceStaysOk) {
+  Tree tree;
+  NodeId root = tree.AddRoot("r");
+  NodeId child = tree.AddElement(root, "c");
+  tree.AddText(child, "t");
+
+  DocPlane::Builder builder;
+  builder.Enter(tree.label(root), root);
+  builder.Enter(tree.label(child), child);
+  builder.MarkText();
+  builder.Exit();
+  builder.Exit();
+  EXPECT_TRUE(builder.status().ok());
+  DocPlane plane = builder.Finish(tree.size(), tree.labels().size());
+  EXPECT_TRUE(builder.status().ok());
+  EXPECT_TRUE(plane.SameAs(DocPlane::Build(tree)));
+}
+
 TEST(DocPlaneTest, MaterializerEmitsPlaneMatchingBuild) {
   view::ViewDef view = gen::HospitalView();
   gen::HospitalParams params;

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <future>
 #include <map>
 #include <memory>
 #include <random>
@@ -225,6 +228,68 @@ TEST(QueryServiceTest, ShutdownDrainsSubmittedQueries) {
     auto answer = f.get();
     ASSERT_TRUE(answer.ok());
     EXPECT_EQ(answer.value(), expected);
+  }
+}
+
+TEST(QueryServiceTest, ExplicitShutdownSemantics) {
+  xml::Tree tree = Hospital(5, 57);
+  const std::string q = "//diagnosis";
+  const NodeVec expected = SoloAnswer(tree, q);
+  QueryService service(tree, {.num_threads = 2});
+  auto pre = service.Submit(q);
+  service.Shutdown();
+  // Everything submitted before Shutdown is answered (drain), Shutdown is
+  // idempotent, and post-Shutdown submissions fail fast instead of hanging
+  // on a future no dispatcher will ever fulfill.
+  auto answer = pre.get();
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value(), expected);
+  service.Shutdown();
+  auto post = service.Submit(q);
+  ASSERT_EQ(post.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  auto rejected = post.get();
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+}  // destructor after an explicit Shutdown must also be a clean no-op
+
+// The regression this PR fixes: Submit's (and Shutdown's) cv_ notification
+// used to happen after the mutex was released, so a submitter's notify
+// could touch the condition variable after a racing teardown destroyed it.
+// Race many submitters against one explicit Shutdown; under TSan (the
+// `concurrency` CI job) the old code reports the lifetime race, and every
+// future -- admitted into the drain or rejected -- must still resolve.
+TEST(QueryServiceTest, SubmitRacingShutdownNeverHangs) {
+  xml::Tree tree = Hospital(5, 59);
+  const std::string q = "department/patient/pname";
+  const NodeVec expected = SoloAnswer(tree, q);
+  for (int round = 0; round < 8; ++round) {
+    QueryService service(tree, {.num_threads = 2, .max_batch = 4});
+    std::atomic<bool> go{false};
+    std::vector<std::future<QueryService::Answer>> futures(16);
+    std::vector<std::thread> submitters;
+    std::atomic<int> next{0};
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < 4; ++i) {
+          futures[next.fetch_add(1)] = service.Submit(q);
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    service.Shutdown();
+    for (auto& t : submitters) t.join();
+    for (auto& f : futures) {
+      ASSERT_TRUE(f.valid());
+      auto answer = f.get();  // must resolve either way -- never hang
+      if (answer.ok()) {
+        EXPECT_EQ(answer.value(), expected);
+      } else {
+        EXPECT_EQ(answer.status().code(), StatusCode::kFailedPrecondition);
+      }
+    }
   }
 }
 

@@ -3,6 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
 #include "automata/compiler.h"
 #include "eval/naive_evaluator.h"
 #include "gen/fixtures.h"
@@ -193,6 +199,56 @@ TEST(IndexTest, EvalFromMidTreeContext) {
     EXPECT_EQ(with_idx.Eval(fig.ids[9]), without.Eval(fig.ids[9]));
     EXPECT_EQ(with_idx.Eval(fig.ids[2]), without.Eval(fig.ids[2]));
   }
+}
+
+// Compressed-mode SetForContext memoizes lazily behind a shared_mutex;
+// shard workers resolve the same contexts concurrently. Hammer one index
+// from many threads over shuffled contexts and compare every result
+// against a sequentially-warmed twin. Under TSan (the `concurrency` CI
+// job) this also catches the rehash race the hit path used to have --
+// returning a reference into the map across the shared-lock release while
+// a racing miss inserted.
+TEST(IndexTest, ConcurrentSetForContextMatchesSequential) {
+  gen::HospitalParams params;
+  params.patients = 40;
+  params.seed = 91;
+  xml::Tree t = gen::GenerateHospital(params);
+
+  SubtreeLabelIndex oracle = SubtreeLabelIndex::Build(
+      t, SubtreeLabelIndex::Mode::kCompressed, /*threshold=*/16);
+  std::vector<int32_t> expected(t.size(), -1);
+  for (xml::NodeId id = 0; id < t.size(); ++id) {
+    if (t.is_element(id)) expected[id] = oracle.SetForContext(t, id);
+  }
+
+  SubtreeLabelIndex shared = SubtreeLabelIndex::Build(
+      t, SubtreeLabelIndex::Mode::kCompressed, /*threshold=*/16);
+  std::vector<xml::NodeId> contexts;
+  for (xml::NodeId id = 0; id < t.size(); ++id) {
+    if (t.is_element(id)) contexts.push_back(id);
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      // Per-thread shuffle: every thread resolves every context, in a
+      // different order, so cold misses collide on the same nodes.
+      std::vector<xml::NodeId> mine = contexts;
+      std::mt19937_64 rng(1000 + w);
+      std::shuffle(mine.begin(), mine.end(), rng);
+      for (int round = 0; round < 3; ++round) {
+        for (xml::NodeId id : mine) {
+          if (shared.SetForContext(t, id) != expected[id]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

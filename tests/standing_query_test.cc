@@ -1,0 +1,301 @@
+// exec::StandingQueryEvaluator: delta re-evaluation must be answer-for-answer
+// identical to a cold full evaluation on every epoch it advances through.
+//
+// The randomized suite drives a hospital document through streams of mixed
+// deltas (inserts of captured fragments, subtree deletes, relabels within
+// the existing label universe) and checks every standing answer set against
+// the NaiveEvaluator oracle on the post-edit tree after every advance --
+// including filter and Kleene-star queries that exercise the non-simple
+// full-reeval fallback. Dedicated cases pin the rest of the contract: the
+// warm advance interns ZERO configurations (the CI counter gate), chains
+// that die classify as skips, label growth forces a rebind, stale deltas
+// are rejected, and a 120k-deep spine advances without recursion.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "automata/compiler.h"
+#include "automata/mfa.h"
+#include "eval/naive_evaluator.h"
+#include "gen/hospital_generator.h"
+#include "hype/hype.h"
+#include "xml/plane_epoch.h"
+#include "xml/tree.h"
+#include "xml/tree_delta.h"
+#include "xpath/parser.h"
+#include "exec/standing_query.h"
+
+namespace smoqe::exec {
+namespace {
+
+using NodeVec = std::vector<xml::NodeId>;
+
+xml::Tree Hospital(int patients, uint64_t seed) {
+  gen::HospitalParams params;
+  params.patients = patients;
+  params.seed = seed;
+  params.heart_disease_prob = 0.3;
+  return gen::GenerateHospital(params);
+}
+
+std::vector<automata::Mfa> CompileAll(const std::vector<std::string>& queries) {
+  std::vector<automata::Mfa> mfas;
+  mfas.reserve(queries.size());
+  for (const std::string& q : queries) {
+    auto parsed = xpath::ParseQuery(q);
+    EXPECT_TRUE(parsed.ok()) << q << ": " << parsed.status().ToString();
+    mfas.push_back(automata::CompileQuery(parsed.value()));
+  }
+  return mfas;
+}
+
+std::vector<const automata::Mfa*> Pointers(
+    const std::vector<automata::Mfa>& mfas) {
+  std::vector<const automata::Mfa*> out;
+  for (const automata::Mfa& m : mfas) out.push_back(&m);
+  return out;
+}
+
+NodeVec NaiveAnswers(const xml::Tree& tree, const std::string& query) {
+  auto parsed = xpath::ParseQuery(query);
+  EXPECT_TRUE(parsed.ok());
+  eval::NaiveEvaluator naive(tree);
+  return naive.Eval(parsed.value(), tree.root());
+}
+
+std::vector<xml::NodeId> ReachableElements(const xml::Tree& tree) {
+  std::vector<xml::NodeId> out;
+  std::vector<xml::NodeId> stack = {tree.root()};
+  while (!stack.empty()) {
+    xml::NodeId n = stack.back();
+    stack.pop_back();
+    if (tree.is_element(n)) out.push_back(n);
+    for (xml::NodeId c = tree.first_child(n); c != xml::kNullNode;
+         c = tree.next_sibling(c)) {
+      stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+xml::NodeId FindByLabel(const xml::Tree& tree, const std::string& label) {
+  for (xml::NodeId n : ReachableElements(tree)) {
+    if (tree.label_name(n) == label) return n;
+  }
+  return xml::kNullNode;
+}
+
+// Random ops confined to the document's existing label universe (relabels
+// reuse hospital labels; inserted fragments are captured from the tree
+// itself), so no advance in the stream triggers a rebind.
+xml::TreeDelta RandomDelta(const xml::Tree& tree, uint64_t version,
+                           int num_ops, std::mt19937_64& rng) {
+  static const char* const kRelabels[] = {"patient", "visit", "treatment",
+                                          "test", "medication"};
+  xml::Tree scratch = tree;
+  xml::TreeDelta delta(version);
+  for (int i = 0; i < num_ops; ++i) {
+    std::vector<xml::NodeId> elements = ReachableElements(scratch);
+    const int kind = static_cast<int>(rng() % 3);
+    xml::TreeDelta step(0);
+    if (kind == 0 && elements.size() > 10) {
+      xml::NodeId victim = elements[1 + rng() % (elements.size() - 1)];
+      delta.AddDelete(victim);
+      step.AddDelete(victim);
+    } else if (kind == 1) {
+      // Move a copy of a small existing subtree somewhere else.
+      xml::NodeId source = xml::kNullNode;
+      for (int attempt = 0; attempt < 20; ++attempt) {
+        xml::NodeId candidate = elements[rng() % elements.size()];
+        if (scratch.CountSubtreeElements(candidate) <= 20) {
+          source = candidate;
+          break;
+        }
+      }
+      if (source == xml::kNullNode) source = elements.back();
+      xml::Fragment fragment = xml::Fragment::Capture(scratch, source);
+      xml::NodeId parent = elements[rng() % elements.size()];
+      const int32_t slot = static_cast<int32_t>(rng() % 4);
+      delta.AddInsert(parent, slot, fragment);
+      step.AddInsert(parent, slot, std::move(fragment));
+    } else {
+      xml::NodeId node = elements[rng() % elements.size()];
+      const char* label = kRelabels[rng() % 5];
+      delta.AddRelabel(node, label);
+      step.AddRelabel(node, label);
+    }
+    EXPECT_TRUE(step.ApplyTo(&scratch).ok());
+  }
+  return delta;
+}
+
+const std::vector<std::string>& Workload() {
+  static const std::vector<std::string> queries = {
+      "department/patient/pname",
+      "//diagnosis",
+      "department/patient[visit/treatment/medication]",
+      "department/patient/(parent/patient)*"
+      "[visit/treatment/medication/diagnosis/text() = 'heart disease']",
+      "//treatment[medication and not(test)]",
+      "department/patient[not(visit/treatment/test)]",
+      "(department)*/patient/sibling",
+      "visit",  // dead below the root: exercises the skip classification
+  };
+  return queries;
+}
+
+TEST(StandingQueryTest, RandomizedAdvanceMatchesColdEval) {
+  const std::vector<std::string>& queries = Workload();
+  std::vector<automata::Mfa> mfas = CompileAll(queries);
+  xml::EpochPublisher publisher(Hospital(8, 13));
+  StandingQueryEvaluator standing(publisher.Snapshot(), Pointers(mfas));
+
+  std::mt19937_64 rng(13);
+  for (int step = 0; step < 25; ++step) {
+    xml::PlaneEpoch before = publisher.Snapshot();
+    xml::TreeDelta delta =
+        RandomDelta(*before.tree, before.version, 1 + step % 3, rng);
+    ASSERT_TRUE(publisher.Apply(delta).ok()) << "step " << step;
+    xml::PlaneEpoch after = publisher.Snapshot();
+
+    AdvanceStats stats;
+    ASSERT_TRUE(standing.Advance(after, delta, &stats).ok()) << "step " << step;
+    EXPECT_FALSE(stats.rebound) << "step " << step
+                                << ": in-universe edits must not rebind";
+    EXPECT_EQ(standing.version(), after.version);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(standing.answers(q), NaiveAnswers(*after.tree, queries[q]))
+          << "step " << step << " query " << queries[q];
+    }
+  }
+}
+
+TEST(StandingQueryTest, WarmAdvanceInternsZeroConfigs) {
+  // Relabel the same node back and forth: after one round trip every
+  // configuration either shape needs is interned, so the third advance --
+  // a shape already seen -- must hit the shared planes exclusively. This is
+  // the property the bench_mutation counter gate enforces in CI.
+  const std::vector<std::string>& queries = Workload();
+  std::vector<automata::Mfa> mfas = CompileAll(queries);
+  xml::EpochPublisher publisher(Hospital(6, 29));
+  StandingQueryEvaluator standing(publisher.Snapshot(), Pointers(mfas));
+
+  const xml::NodeId target = FindByLabel(*publisher.Snapshot().tree, "test");
+  ASSERT_NE(target, xml::kNullNode);
+  const char* const labels[] = {"medication", "test", "medication"};
+  AdvanceStats stats;
+  for (int round = 0; round < 3; ++round) {
+    xml::TreeDelta delta(publisher.version());
+    delta.AddRelabel(target, labels[round]);
+    ASSERT_TRUE(publisher.Apply(delta).ok());
+    xml::PlaneEpoch after = publisher.Snapshot();
+    ASSERT_TRUE(standing.Advance(after, delta, &stats).ok());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(standing.answers(q), NaiveAnswers(*after.tree, queries[q]))
+          << "round " << round << " query " << queries[q];
+    }
+  }
+  EXPECT_EQ(stats.configs_interned, 0)
+      << "an advance over a previously-seen document shape interned "
+         "configurations; the warm-path contract is broken";
+}
+
+TEST(StandingQueryTest, DeadChainClassifiesAsSkip) {
+  std::vector<std::string> queries = {"visit", "department/patient/pname"};
+  std::vector<automata::Mfa> mfas = CompileAll(queries);
+  xml::EpochPublisher publisher(Hospital(4, 17));
+  StandingQueryEvaluator standing(publisher.Snapshot(), Pointers(mfas));
+  EXPECT_TRUE(standing.answers(0).empty());
+
+  // Edit deep inside a department: the chain to the region passes through
+  // a `department` edge the `visit` query cannot take.
+  const xml::NodeId pname = FindByLabel(*publisher.Snapshot().tree, "pname");
+  ASSERT_NE(pname, xml::kNullNode);
+  xml::TreeDelta delta(0);
+  delta.AddRelabel(pname, "test");
+  ASSERT_TRUE(publisher.Apply(delta).ok());
+  AdvanceStats stats;
+  ASSERT_TRUE(standing.Advance(publisher.Snapshot(), delta, &stats).ok());
+  EXPECT_GE(stats.queries_skipped, 1);
+  EXPECT_TRUE(standing.answers(0).empty());
+  EXPECT_EQ(standing.answers(1),
+            NaiveAnswers(*publisher.Snapshot().tree, queries[1]));
+}
+
+TEST(StandingQueryTest, LabelGrowthRebindsAndStaysCorrect) {
+  std::vector<std::string> queries = {"department/patient/pname",
+                                      "//audit_marker"};
+  std::vector<automata::Mfa> mfas = CompileAll(queries);
+  xml::EpochPublisher publisher(Hospital(4, 19));
+  StandingQueryEvaluator standing(publisher.Snapshot(), Pointers(mfas));
+  EXPECT_TRUE(standing.answers(1).empty());
+
+  const xml::NodeId pname = FindByLabel(*publisher.Snapshot().tree, "pname");
+  ASSERT_NE(pname, xml::kNullNode);
+  xml::TreeDelta delta(0);
+  delta.AddRelabel(pname, "audit_marker");  // brand-new label
+  ASSERT_TRUE(publisher.Apply(delta).ok());
+  AdvanceStats stats;
+  ASSERT_TRUE(standing.Advance(publisher.Snapshot(), delta, &stats).ok());
+  EXPECT_TRUE(stats.rebound);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(standing.answers(q),
+              NaiveAnswers(*publisher.Snapshot().tree, queries[q]));
+  }
+  EXPECT_EQ(standing.answers(1).size(), 1u);
+}
+
+TEST(StandingQueryTest, RejectsDisconnectedDelta) {
+  std::vector<std::string> queries = {"department"};
+  std::vector<automata::Mfa> mfas = CompileAll(queries);
+  xml::EpochPublisher publisher(Hospital(2, 23));
+  StandingQueryEvaluator standing(publisher.Snapshot(), Pointers(mfas));
+
+  xml::TreeDelta wrong(7);  // does not connect version 0 to anything current
+  Status status = standing.Advance(publisher.Snapshot(), wrong);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(standing.version(), 0u);
+}
+
+TEST(StandingQueryTest, DeepSpineAdvance) {
+  // 120k-deep spine: LCA/anchor/chain walks and the subtree splice must all
+  // be iterative. The oracle is a cold (iterative) HypeEvaluator, not the
+  // recursive naive evaluator.
+  constexpr int kDepth = 120000;
+  const char* const spine[] = {"a", "b", "c"};
+  xml::Tree tree;
+  xml::NodeId n = tree.AddRoot("a");
+  for (int i = 1; i < kDepth; ++i) n = tree.AddElement(n, spine[i % 3]);
+  const xml::NodeId bottom = n;
+
+  std::vector<std::string> queries = {"//b", "//b[c]", "(a/b/c)*/a"};
+  std::vector<automata::Mfa> mfas = CompileAll(queries);
+  xml::EpochPublisher publisher(std::move(tree));
+  StandingQueryEvaluator standing(publisher.Snapshot(), Pointers(mfas));
+
+  // Relabel near the bottom, then graft a small fragment there.
+  xml::TreeDelta delta(0);
+  delta.AddRelabel(bottom, "a");
+  {
+    xml::Tree scratch;
+    scratch.AddRoot("b");
+    scratch.AddElement(scratch.root(), "c");
+    delta.AddInsert(bottom, 0, xml::Fragment::Capture(scratch, scratch.root()));
+  }
+  ASSERT_TRUE(publisher.Apply(delta).ok());
+  xml::PlaneEpoch after = publisher.Snapshot();
+  ASSERT_TRUE(standing.Advance(after, delta).ok());
+
+  for (size_t q = 0; q < queries.size(); ++q) {
+    hype::HypeEvaluator cold(*after.tree, mfas[q]);
+    ASSERT_EQ(standing.answers(q), cold.Eval(after.tree->root()))
+        << "query " << queries[q];
+  }
+}
+
+}  // namespace
+}  // namespace smoqe::exec
