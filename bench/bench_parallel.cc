@@ -300,7 +300,9 @@ int WriteJsonSmoke(const std::string& path) {
                  "\"batches\": %lld, \"batches_full\": %lld, "
                  "\"batches_aged\": %lld, \"cache_hits\": %lld, "
                  "\"cache_misses\": %lld, \"coalesced\": %lld, "
-                 "\"evaluator_reuses\": %lld}",
+                 "\"evaluator_reuses\": %lld, "
+                 "\"queries_timed_out\": %lld, \"queries_shed\": %lld, "
+                 "\"queries_cancelled\": %lld}",
                  first ? "" : ",\n", clients,
                  clients * kQueriesPerClient / secs,
                  static_cast<long long>(st.batches),
@@ -309,18 +311,25 @@ int WriteJsonSmoke(const std::string& path) {
                  static_cast<long long>(st.cache.hits),
                  static_cast<long long>(st.cache.misses),
                  static_cast<long long>(st.coalesced_duplicates),
-                 static_cast<long long>(st.evaluator_reuses));
+                 static_cast<long long>(st.evaluator_reuses),
+                 static_cast<long long>(st.queries_timed_out),
+                 static_cast<long long>(st.queries_shed),
+                 static_cast<long long>(st.queries_cancelled));
     std::printf(
         "service clients=%d: %lld batches (%lld full, %lld aged), "
         "rewrite cache %lld hits / %lld misses, %lld coalesced, "
-        "%lld evaluator reuses\n",
+        "%lld evaluator reuses, %lld timed out / %lld shed / "
+        "%lld cancelled\n",
         clients, static_cast<long long>(st.batches),
         static_cast<long long>(st.batches_full),
         static_cast<long long>(st.batches_aged),
         static_cast<long long>(st.cache.hits),
         static_cast<long long>(st.cache.misses),
         static_cast<long long>(st.coalesced_duplicates),
-        static_cast<long long>(st.evaluator_reuses));
+        static_cast<long long>(st.evaluator_reuses),
+        static_cast<long long>(st.queries_timed_out),
+        static_cast<long long>(st.queries_shed),
+        static_cast<long long>(st.queries_cancelled));
     first = false;
   }
   std::fprintf(out, "\n  ]\n}\n");

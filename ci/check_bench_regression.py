@@ -85,6 +85,15 @@ def extract_counters(data):
                     "configs_interned_sharded_warm_delta"):
             if key in row:
                 counters[f"docplane/{row['name']}/{key}"] = row[key]
+    for row in data.get("service", []):  # BENCH_parallel.json
+        # The smoke workload carries no deadlines or cancellations, so any
+        # timed-out/shed/cancelled query is the overload machinery
+        # misfiring; zero tolerance. Absent in pre-PR-7 baselines, which
+        # extraction tolerates automatically (iteration is baseline-driven).
+        for key in ("queries_timed_out", "queries_shed", "queries_cancelled"):
+            if key in row:
+                counters[f"parallel/service/clients={row['clients']}/{key}"] \
+                    = row[key]
     for name, value in data.get("mutation", {}).get("counters", {}).items():
         counters[f"mutation/{name}"] = value  # BENCH_mutation.json
     return counters

@@ -12,6 +12,10 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FailedPrecondition";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -22,6 +22,11 @@ enum class StatusCode {
   kFailedPrecondition,// input violates a documented invariant (e.g. invalid view)
   kUnimplemented,     // feature intentionally not supported (documented)
   kInternal,          // invariant broken inside the library (a bug)
+  kCancelled,         // caller cancelled the operation via a CancelToken
+  kDeadlineExceeded,  // the operation's deadline expired before completion
+  kResourceExhausted, // admission control shed the request (queue full/aged)
+  kUnavailable,       // transient failure; safe to retry (fault injection,
+                      // publish aborted, shard worker unavailable)
 };
 
 /// A success-or-error result. Cheap to copy on the success path (no message).
@@ -51,6 +56,18 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

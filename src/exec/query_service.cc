@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "exec/sharded_eval.h"
 
 namespace smoqe::exec {
@@ -66,11 +67,18 @@ void QueryService::Shutdown() {
 }
 
 std::future<QueryService::Answer> QueryService::Submit(
-    std::string query_text) {
+    std::string query_text, SubmitOptions submit_options) {
   Pending p;
   p.text = std::move(query_text);
   p.enqueued = std::chrono::steady_clock::now();
+  p.deadline = submit_options.deadline;
+  p.cancel = submit_options.cancel;
   std::future<Answer> result = p.promise.get_future();
+  // Injected admission failure (chaos suite): resolves the future before the
+  // query ever reaches the queue, like a real overload shed would.
+  Status admit = Status::OK();
+  SMOQE_FAULT_HIT(FaultSite::kServiceAdmit,
+                  [&](Status s) { admit = std::move(s); });
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
@@ -79,6 +87,26 @@ std::future<QueryService::Answer> QueryService::Submit(
       return result;
     }
     ++stats_.queries_submitted;
+    // Queue-depth admission control: past `max_queue` pending queries the
+    // service is not keeping up, and queueing further only converts the
+    // overload into unbounded latency -- shed instead, and let the client
+    // retry with backoff.
+    if (admit.ok() && options_.max_queue > 0 &&
+        pending_.size() >= options_.max_queue) {
+      admit = Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(pending_.size()) +
+          " pending)");
+    }
+    if (!admit.ok()) {
+      ++stats_.queries_answered;
+      if (admit.code() == StatusCode::kResourceExhausted) {
+        ++stats_.queries_shed;
+      } else {
+        ++stats_.queries_failed;
+      }
+      p.promise.set_value(std::move(admit));
+      return result;
+    }
     pending_.push_back(std::move(p));
     // Under the lock for the same lifetime reason as in Shutdown: after we
     // release mu_, a racing Shutdown/destructor may run to completion, and
@@ -105,11 +133,28 @@ void QueryService::DispatcherLoop() {
       if (stop_) return;
       continue;
     }
+#ifdef SMOQE_FAULT_INJECTION
+    if (FaultInjector::armed()) {
+      // Injected dispatcher stall (the aged-batch regression + chaos
+      // suite): sleep OUTSIDE the lock so clients keep submitting while
+      // the dispatcher is wedged -- exactly the storm of wakeups-past-
+      // deadline the admission loop's age re-check below must survive.
+      lock.unlock();
+      SMOQE_FAULT_DELAY_POINT(FaultSite::kServiceDispatch);
+      lock.lock();
+    }
+#endif
     // Admission: hold the batch open until it is full or its oldest entry
-    // has aged out (stop closes it immediately -- drain fast).
+    // has aged out (stop closes it immediately -- drain fast). The age is
+    // re-checked on EVERY wakeup: cv_ wakeups caused by further Submits
+    // (or spuriously) land back here, and without the explicit now() check
+    // an already-aged batch would re-enter wait_until instead of closing
+    // -- each extra pass is one avoidable syscall, and the batch's age
+    // bound silently stops being the code's loop invariant.
     const auto deadline = pending_.front().enqueued + options_.max_delay;
-    while (!stop_ && pending_.size() < options_.max_batch) {
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    while (!stop_ && pending_.size() < options_.max_batch &&
+           std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(lock, deadline);
     }
     std::vector<Pending> batch;
     const size_t take = std::min(pending_.size(), options_.max_batch);
@@ -177,18 +222,52 @@ QueryService::CachedEvaluator& QueryService::EvaluatorFor(
 }
 
 void QueryService::ProcessBatch(std::vector<Pending> batch) {
+  const auto now = std::chrono::steady_clock::now();
+
+  // Every batch member ends up in `resolutions` with exactly one terminal
+  // Answer; promises are set only after the whole batch is accounted, so a
+  // client whose future has resolved always finds itself in the counters.
+  std::vector<std::pair<size_t, Answer>> resolutions;
+  std::vector<char> live(batch.size(), 1);
+  int64_t timed_out = 0;
+  int64_t shed = 0;
+  int64_t cancelled = 0;
+  int64_t failed = 0;
+  auto resolve = [&](size_t i, Answer answer) {
+    live[i] = 0;
+    resolutions.emplace_back(i, std::move(answer));
+  };
+
+  // Pre-evaluation admission: queries already cancelled, past their
+  // deadline, or stale (aged out in the queue under overload) resolve
+  // without costing an evaluation.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].cancel != nullptr && batch[i].cancel->cancelled()) {
+      ++cancelled;
+      resolve(i, Status::Cancelled("cancelled before evaluation"));
+    } else if (batch[i].deadline.expired()) {
+      ++timed_out;
+      resolve(i, Status::DeadlineExceeded("deadline expired in queue"));
+    } else if (options_.max_queue_age.count() > 0 &&
+               now - batch[i].enqueued > options_.max_queue_age) {
+      ++shed;
+      resolve(i, Status::ResourceExhausted("query aged out in queue"));
+    }
+  }
+
   // Compile through the cache; group batch entries by compiled MFA so
   // duplicate queries (same normalized text) are evaluated once. The
   // shared_ptrs keep evicted entries alive through the pass.
   std::vector<std::shared_ptr<const automata::Mfa>> mfas;
   std::vector<std::vector<size_t>> waiters;  // per MFA: batch indices
   std::unordered_map<const automata::Mfa*, size_t> slot_of;
-  std::vector<std::pair<size_t, Status>> failures;
   int64_t coalesced = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
+    if (!live[i]) continue;
     auto compiled = cache_.Get(batch[i].text);
     if (!compiled.ok()) {
-      failures.emplace_back(i, compiled.status());
+      ++failed;
+      resolve(i, compiled.status());
       continue;
     }
     std::shared_ptr<const automata::Mfa> mfa = std::move(compiled.value().mfa);
@@ -206,28 +285,143 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
     waiters[it->second].push_back(i);
   }
 
-  std::vector<std::vector<xml::NodeId>> answers;
+  // Min-deadline retry loop: each round evaluates the still-live members
+  // under the EARLIEST of their deadlines (plus a poll over their cancel
+  // tokens). A kDeadlineExceeded abort resolves every expired member -- at
+  // least the min-deadline holder, so each retry strictly shrinks the set
+  // and the loop terminates -- and re-runs the remainder, giving per-query
+  // deadline isolation inside one coalesced batch. A kCancelled abort
+  // likewise resolves the cancelled members and retries. Any other failure
+  // (injected shard fault -> kUnavailable) is terminal for the whole round.
   bool evaluator_reused = false;
-  if (!mfas.empty()) {
-    // Canonicalize the batch's MFA set by pointer order so repeated query
+  bool first_round = true;
+  for (;;) {
+    std::vector<size_t> slots;  // MFA slots with >= 1 live waiter
+    for (size_t s = 0; s < waiters.size(); ++s) {
+      for (size_t i : waiters[s]) {
+        if (live[i]) {
+          slots.push_back(s);
+          break;
+        }
+      }
+    }
+    if (slots.empty()) break;
+
+    Deadline min_deadline;  // Never
+    bool any_token = false;
+    for (size_t s : slots) {
+      for (size_t i : waiters[s]) {
+        if (!live[i]) continue;
+        if (batch[i].deadline.has_deadline() &&
+            (!min_deadline.has_deadline() ||
+             batch[i].deadline.when() < min_deadline.when())) {
+          min_deadline = batch[i].deadline;
+        }
+        any_token |= batch[i].cancel != nullptr;
+      }
+    }
+    EvalControl control;
+    control.deadline = min_deadline;
+    control.checkpoint_interval = options_.checkpoint_interval;
+    if (any_token) {
+      control.extra_poll = [&]() {
+        for (size_t s : slots) {
+          for (size_t i : waiters[s]) {
+            if (live[i] && batch[i].cancel != nullptr &&
+                batch[i].cancel->cancelled()) {
+              return StatusCode::kCancelled;
+            }
+          }
+        }
+        return StatusCode::kOk;
+      };
+    }
+
+    // Canonicalize the round's MFA set by pointer order so repeated query
     // mixes -- whatever order clients submitted them in -- reuse one warm
-    // evaluator; `order[k]` maps the k-th sorted position back to its slot.
-    std::vector<size_t> order(mfas.size());
+    // evaluator; `order[k]` maps the k-th sorted position back to `slots`.
+    std::vector<size_t> order(slots.size());
     for (size_t k = 0; k < order.size(); ++k) order[k] = k;
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return mfas[a].get() < mfas[b].get();
+      return mfas[slots[a]].get() < mfas[slots[b]].get();
     });
     std::vector<std::shared_ptr<const automata::Mfa>> sorted;
-    sorted.reserve(mfas.size());
-    for (size_t k : order) sorted.push_back(mfas[k]);
+    sorted.reserve(slots.size());
+    for (size_t k : order) sorted.push_back(mfas[slots[k]]);
 
-    CachedEvaluator& cached = EvaluatorFor(std::move(sorted),
-                                           &evaluator_reused);
+    bool reused = false;
+    CachedEvaluator& cached = EvaluatorFor(std::move(sorted), &reused);
+    if (first_round) {
+      evaluator_reused = reused;
+      first_round = false;
+    }
     std::vector<std::vector<xml::NodeId>> sorted_answers =
-        cached.eval.EvalAll(tree_.root());
-    answers.resize(mfas.size());
-    for (size_t k = 0; k < order.size(); ++k) {
-      answers[order[k]] = std::move(sorted_answers[k]);
+        control.enabled() ? cached.eval.EvalAll(tree_.root(), control)
+                          : cached.eval.EvalAll(tree_.root());
+    const Status& st = cached.eval.last_status();
+
+    if (st.ok()) {
+      std::vector<std::vector<xml::NodeId>> answers(slots.size());
+      for (size_t k = 0; k < order.size(); ++k) {
+        answers[order[k]] = std::move(sorted_answers[k]);
+      }
+      for (size_t k = 0; k < slots.size(); ++k) {
+        std::vector<size_t> targets;
+        for (size_t i : waiters[slots[k]]) {
+          if (live[i]) targets.push_back(i);
+        }
+        for (size_t t = 0; t < targets.size(); ++t) {
+          if (t + 1 == targets.size()) {
+            resolve(targets[t], std::move(answers[k]));
+          } else {
+            resolve(targets[t], answers[k]);
+          }
+        }
+      }
+      break;
+    }
+
+    bool progressed = false;
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      for (size_t s : slots) {
+        for (size_t i : waiters[s]) {
+          if (live[i] && batch[i].deadline.expired()) {
+            ++timed_out;
+            resolve(i, Status::DeadlineExceeded("deadline expired during "
+                                                "evaluation"));
+            progressed = true;
+          }
+        }
+      }
+    } else if (st.code() == StatusCode::kCancelled) {
+      for (size_t s : slots) {
+        for (size_t i : waiters[s]) {
+          if (live[i] && batch[i].cancel != nullptr &&
+              batch[i].cancel->cancelled()) {
+            ++cancelled;
+            resolve(i, Status::Cancelled("cancelled during evaluation"));
+            progressed = true;
+          }
+        }
+      }
+    }
+    if (!progressed) {
+      // Transient shard failure (or, defensively, an abort whose trigger we
+      // can no longer attribute): terminal for every remaining member. The
+      // status code is one of the documented terminal set; clients retry.
+      for (size_t s : slots) {
+        for (size_t i : waiters[s]) {
+          if (!live[i]) continue;
+          switch (st.code()) {
+            case StatusCode::kResourceExhausted: ++shed; break;
+            case StatusCode::kDeadlineExceeded: ++timed_out; break;
+            case StatusCode::kCancelled: ++cancelled; break;
+            default: ++failed; break;
+          }
+          resolve(i, Status(st.code(), st.message()));
+        }
+      }
+      break;
     }
   }
 
@@ -236,24 +430,17 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.queries_answered += static_cast<int64_t>(batch.size());
-    stats_.queries_failed += static_cast<int64_t>(failures.size());
+    stats_.queries_failed += failed;
+    stats_.queries_timed_out += timed_out;
+    stats_.queries_shed += shed;
+    stats_.queries_cancelled += cancelled;
     stats_.coalesced_duplicates += coalesced;
     stats_.evaluator_reuses += evaluator_reused ? 1 : 0;
     stats_.cache = cache_.stats();
   }
 
-  for (auto& [i, status] : failures) {
-    batch[i].promise.set_value(std::move(status));
-  }
-  for (size_t slot = 0; slot < waiters.size(); ++slot) {
-    for (size_t k = 0; k < waiters[slot].size(); ++k) {
-      Pending& p = batch[waiters[slot][k]];
-      if (k + 1 == waiters[slot].size()) {
-        p.promise.set_value(std::move(answers[slot]));
-      } else {
-        p.promise.set_value(answers[slot]);
-      }
-    }
+  for (auto& [i, answer] : resolutions) {
+    batch[i].promise.set_value(std::move(answer));
   }
 }
 

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "hype/index.h"
@@ -76,6 +77,37 @@ struct QueryServiceOptions {
 
   /// RewriteCache capacity (compiled MFAs kept hot), 0 = unbounded.
   size_t cache_capacity = 1024;
+
+  /// Admission control: Submit sheds with kResourceExhausted once this many
+  /// queries are already pending (overload protection for the wire-protocol
+  /// front end -- queueing unboundedly just converts overload into latency).
+  /// 0 = unbounded (the pre-admission-control behavior).
+  size_t max_queue = 4096;
+
+  /// Age-based shedding: a query that waited in the pending queue longer
+  /// than this by the time its batch is collected resolves with
+  /// kResourceExhausted instead of being evaluated (stale work under
+  /// overload). 0 = disabled.
+  std::chrono::microseconds max_queue_age{0};
+
+  /// Node entries between cancellation/deadline checks inside the
+  /// evaluation drivers (see common/cancellation.h); bounds how late an
+  /// abort can land.
+  int32_t checkpoint_interval = 1024;
+};
+
+/// Per-query submission controls. Default-constructed = the old behavior
+/// (no deadline, not cancellable).
+struct SubmitOptions {
+  /// The query resolves with kDeadlineExceeded once this expires --
+  /// including mid-evaluation (the batch aborts and the survivors retry
+  /// under their own deadlines).
+  Deadline deadline;
+
+  /// Client-owned cancellation token; Cancel() resolves the query with
+  /// kCancelled at the service's next checkpoint. Must outlive the future's
+  /// resolution.
+  CancelToken* cancel = nullptr;
 };
 
 /// Counter snapshot returned by QueryService::stats(): submission/answer
@@ -92,6 +124,9 @@ struct QueryServiceStats {
   int64_t max_batch_seen = 0;
   int64_t coalesced_duplicates = 0;  // same-MFA queries evaluated once
   int64_t evaluator_reuses = 0;  // batches served by a warm sharded evaluator
+  int64_t queries_timed_out = 0;  // resolved kDeadlineExceeded
+  int64_t queries_shed = 0;       // resolved kResourceExhausted (admission)
+  int64_t queries_cancelled = 0;  // resolved kCancelled (client token)
   rewrite::RewriteCacheStats cache;
 };
 
@@ -121,8 +156,12 @@ class QueryService {
   /// Thread-safe; callable from any number of client threads. The future
   /// resolves to the sorted answer-node ids, or to the parse/rewrite error.
   /// After Shutdown (or the destructor) has begun, resolves to an error
-  /// immediately.
-  std::future<Answer> Submit(std::string query_text);
+  /// immediately. Every future resolves with exactly one terminal status:
+  /// kOk, the compile error, kDeadlineExceeded, kCancelled,
+  /// kResourceExhausted (admission shed), or kUnavailable (transient
+  /// evaluation failure; safe to retry).
+  std::future<Answer> Submit(std::string query_text,
+                             SubmitOptions submit_options = {});
 
   /// Submit + wait, for single-shot callers.
   Answer Query(std::string query_text);
@@ -137,6 +176,8 @@ class QueryService {
     std::string text;
     std::promise<Answer> promise;
     std::chrono::steady_clock::time_point enqueued;
+    Deadline deadline;
+    CancelToken* cancel = nullptr;
   };
 
   // A recently used sharded evaluator, keyed by its (pointer-sorted) MFA

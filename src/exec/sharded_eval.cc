@@ -5,6 +5,8 @@
 #include <future>
 #include <utility>
 
+#include "common/fault_injection.h"
+
 namespace smoqe::exec {
 
 namespace {
@@ -225,10 +227,42 @@ void ShardedBatchEvaluator::EnsureWorkers() {
 
 std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAll(
     xml::NodeId context) {
+  return EvalAllImpl(context, nullptr);
+}
+
+std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAll(
+    xml::NodeId context, const EvalControl& control) {
+  return EvalAllImpl(context, &control);
+}
+
+std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAllImpl(
+    xml::NodeId context, const EvalControl* control) {
   const size_t n = mfas_.size();
   std::vector<std::vector<xml::NodeId>> results(n);
   merged_stats_.assign(n, hype::EvalStats{});
+  last_status_ = Status::OK();
   if (n == 0 || tree_.empty()) return results;
+
+  // Local control for this run: same deadline/poll as the caller's, but
+  // guaranteed to carry a token so a tripping shard can fan the failure out
+  // to its siblings. The internal token is re-armed per run; a caller token
+  // is left as-is (its cancellation must stay visible to the caller).
+  EvalControl run_control;
+  if (control != nullptr) run_control = *control;
+  if (run_control.token == nullptr && run_control.enabled()) {
+    internal_token_.Reset();
+    run_control.token = &internal_token_;
+  }
+  const bool gated = run_control.enabled();
+  {
+    // Fail fast (and propagate nothing to workers) when the run is already
+    // cancelled or past its deadline at admission.
+    EvalGate entry_gate(&run_control);
+    if (!entry_gate.Refresh()) {
+      last_status_ = entry_gate.status();
+      return results;
+    }
+  }
 
   if (plan_.context != context) {
     BuildPlan(context);
@@ -254,6 +288,7 @@ std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAll(
     std::vector<std::vector<xml::NodeId>> per_query;
     std::vector<hype::EvalStats> stats;
     hype::SharedPassStats pass;
+    Status status;
   };
   std::vector<GroupOut> outs(workers_.size());
   auto run_group = [&](size_t g) {
@@ -261,9 +296,22 @@ std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAll(
     GroupOut& out = outs[g];
     out.per_query.assign(num_sharded, {});
     out.stats.assign(num_sharded, hype::EvalStats{});
+    EvalGate gate(gated ? &run_control : nullptr);
+    EvalGate* gp = gated ? &gate : nullptr;
     for (int u = plan_.groups[g].first; u < plan_.groups[g].second; ++u) {
+      // Force a real check between units (a unit can be arbitrarily small,
+      // so the countdown alone might span many of them), and give the chaos
+      // suite its per-unit fault site. A trip here -- or inside the walk
+      // below -- cancels the shared token, so sibling groups stop at their
+      // next poll instead of finishing their own unit lists.
+      if (gp != nullptr) {
+        SMOQE_FAULT_HIT(FaultSite::kShardUnit,
+                        [&](Status s) { gate.Trip(std::move(s)); });
+        if (!gate.Refresh()) break;
+      }
       std::vector<std::vector<xml::NodeId>> unit_answers =
-          worker.EvalSubtree(context, plan_.units[u].root);
+          worker.EvalSubtree(context, plan_.units[u].root, gp);
+      if (gp != nullptr && gate.tripped()) break;
       for (size_t s = 0; s < num_sharded; ++s) {
         out.per_query[s].insert(out.per_query[s].end(),
                                 unit_answers[s].begin(),
@@ -274,14 +322,18 @@ std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAll(
       out.pass.subtrees_skipped += worker.pass_stats().subtrees_skipped;
       out.pass.positions_jumped += worker.pass_stats().positions_jumped;
     }
+    out.status = gate.status();
     for (size_t s = 0; s < num_sharded; ++s) {
       out.stats[s].elements_total = worker.stats(s).elements_total;
       out.stats[s].configs_interned = worker.stats(s).configs_interned;
     }
   };
   std::vector<std::vector<xml::NodeId>> fallback_results;
+  Status fallback_status;
   auto run_fallback = [&] {
-    fallback_results = fallback_->EvalAll(context);
+    EvalGate gate(gated ? &run_control : nullptr);
+    fallback_results = fallback_->EvalAll(context, gated ? &gate : nullptr);
+    fallback_status = gate.status();
   };
 
   // Blocking on pool futures from one of the pool's own threads can
@@ -302,6 +354,24 @@ std::vector<std::vector<xml::NodeId>> ShardedBatchEvaluator::EvalAll(
   } else {
     for (size_t g = 0; g < workers_.size(); ++g) run_group(g);
     if (fallback_ != nullptr) run_fallback();
+  }
+
+  // Any tripped task aborts the whole run (partial merges would break the
+  // bit-identity contract). All tasks have joined, the evaluator's plan,
+  // workers, and planes are intact, and every engine resets on its next
+  // pass -- the run can simply be retried.
+  if (gated) {
+    last_status_ = fallback_status;
+    for (const GroupOut& g : outs) {
+      if (!g.status.ok()) {
+        last_status_ = g.status;
+        break;
+      }
+    }
+    if (!last_status_.ok()) {
+      merged_stats_.assign(n, hype::EvalStats{});
+      return std::vector<std::vector<xml::NodeId>>(n);
+    }
   }
 
   // Deterministic merge: spine answers, then every group's answers in unit

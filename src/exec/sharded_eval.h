@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "automata/mfa.h"
+#include "common/cancellation.h"
 #include "common/thread_pool.h"
 #include "hype/batch_hype.h"
 #include "hype/engine.h"
@@ -106,6 +107,19 @@ class ShardedBatchEvaluator {
   /// solo HypeEvaluator::Eval).
   std::vector<std::vector<xml::NodeId>> EvalAll(xml::NodeId context);
 
+  /// Abortable EvalAll. Every shard task polls `control` through its own
+  /// EvalGate; the FIRST failure (caller cancellation, expired deadline, or
+  /// an injected shard fault) cancels the shared token, so sibling shards
+  /// abort within one checkpoint interval instead of finishing their units.
+  /// On abort the call returns all-empty answers, `last_status()` holds the
+  /// first failure, and the evaluator (workers, plan, planes) stays fully
+  /// reusable -- the next EvalAll starts clean and warm.
+  std::vector<std::vector<xml::NodeId>> EvalAll(xml::NodeId context,
+                                                const EvalControl& control);
+
+  /// kOk after a completed EvalAll; the first shard failure after an abort.
+  const Status& last_status() const { return last_status_; }
+
   size_t batch_size() const { return mfas_.size(); }
   const ShardedStats& stats() const { return stats_; }
 
@@ -144,6 +158,8 @@ class ShardedBatchEvaluator {
   void BuildPlan(xml::NodeId context);
   void ProbeQueries(xml::NodeId context);
   void EnsureWorkers();
+  std::vector<std::vector<xml::NodeId>> EvalAllImpl(xml::NodeId context,
+                                                    const EvalControl* control);
 
   const xml::Tree& tree_;
   std::vector<const automata::Mfa*> mfas_;
@@ -174,6 +190,10 @@ class ShardedBatchEvaluator {
 
   ShardedStats stats_;
   std::vector<hype::EvalStats> merged_stats_;
+  Status last_status_;
+  // First-failure fan-out when the caller's control carries no token of its
+  // own: shard gates cancel this one so siblings still stop early.
+  CancelToken internal_token_;
 };
 
 }  // namespace smoqe::exec

@@ -73,13 +73,14 @@ StandingQueryEvaluator::StandingQueryEvaluator(
   std::vector<uint32_t> all(mfas_.size());
   for (uint32_t q = 0; q < mfas_.size(); ++q) all[q] = q;
   int64_t interned = 0;
-  FullEval(epoch_, all, &interned);
+  FullEval(epoch_, all, &interned, nullptr, nullptr);
 }
 
-void StandingQueryEvaluator::FullEval(const xml::PlaneEpoch& epoch,
-                                      const std::vector<uint32_t>& queries,
-                                      int64_t* interned) {
-  if (queries.empty()) return;
+bool StandingQueryEvaluator::FullEval(
+    const xml::PlaneEpoch& epoch, const std::vector<uint32_t>& queries,
+    int64_t* interned, EvalGate* gate,
+    std::vector<std::pair<uint32_t, std::vector<NodeId>>>* staged) {
+  if (queries.empty()) return true;
   std::vector<const automata::Mfa*> subset;
   subset.reserve(queries.size());
   for (uint32_t q : queries) subset.push_back(mfas_[q]);
@@ -89,11 +90,18 @@ void StandingQueryEvaluator::FullEval(const xml::PlaneEpoch& epoch,
   batch_options.enable_jump = options_.enable_jump;
   hype::BatchHypeEvaluator eval(*epoch.tree, std::move(subset),
                                 batch_options);
-  std::vector<std::vector<NodeId>> results = eval.EvalAll(epoch.tree->root());
+  std::vector<std::vector<NodeId>> results =
+      eval.EvalAll(epoch.tree->root(), gate);
+  if (gate != nullptr && gate->tripped()) return false;
   for (size_t i = 0; i < queries.size(); ++i) {
-    answers_[queries[i]] = std::move(results[i]);
+    if (staged != nullptr) {
+      staged->emplace_back(queries[i], std::move(results[i]));
+    } else {
+      answers_[queries[i]] = std::move(results[i]);
+    }
     *interned += eval.stats(i).configs_interned;
   }
+  return true;
 }
 
 void StandingQueryEvaluator::Rebind(const xml::PlaneEpoch& epoch) {
@@ -104,10 +112,18 @@ void StandingQueryEvaluator::Rebind(const xml::PlaneEpoch& epoch) {
 
 Status StandingQueryEvaluator::Advance(const xml::PlaneEpoch& next,
                                        const xml::TreeDelta& delta,
-                                       AdvanceStats* stats) {
+                                       AdvanceStats* stats,
+                                       const EvalControl& control) {
   AdvanceStats local;
   AdvanceStats* out = stats ? stats : &local;
   *out = AdvanceStats{};
+  EvalGate gate(&control);
+  EvalGate* gp = control.enabled() ? &gate : nullptr;
+  if (gp != nullptr && !gate.Refresh()) return gate.status();
+  // Answer updates are STAGED and committed only once every pass below has
+  // finished: an aborted Advance leaves answers_ and epoch_ untouched at
+  // the previous epoch, so the caller can simply retry it.
+  std::vector<std::pair<uint32_t, std::vector<NodeId>>> staged;
   if (delta.from_version() != epoch_.version ||
       next.version != delta.to_version()) {
     return Status::FailedPrecondition(
@@ -124,10 +140,17 @@ Status StandingQueryEvaluator::Advance(const xml::PlaneEpoch& next,
   // Label growth invalidates the planes' label binding: rebind and pay one
   // cold pass for everything.
   if (next.tree->labels().size() != binding_.tree->labels().size()) {
+    // An abort below leaves the store rebound to `next` but answers_ and
+    // epoch_ at the previous epoch -- sound (the bigger label universe
+    // covers both trees, transitions are label-driven either way), and the
+    // retried Advance then takes the warm normal path.
     Rebind(next);
     std::vector<uint32_t> all(mfas_.size());
     for (uint32_t q = 0; q < mfas_.size(); ++q) all[q] = q;
-    FullEval(next, all, &out->configs_interned);
+    if (!FullEval(next, all, &out->configs_interned, gp, &staged)) {
+      return gate.status();
+    }
+    for (auto& [q, ans] : staged) answers_[q] = std::move(ans);
     out->queries_full = static_cast<int64_t>(mfas_.size());
     out->rebound = true;
     epoch_ = next;
@@ -190,7 +213,9 @@ Status StandingQueryEvaluator::Advance(const xml::PlaneEpoch& next,
     }
   }
 
-  FullEval(next, full, &out->configs_interned);
+  if (!FullEval(next, full, &out->configs_interned, gp, &staged)) {
+    return gate.status();
+  }
 
   if (!spliced.empty()) {
     std::vector<const automata::Mfa*> subset;
@@ -202,7 +227,8 @@ Status StandingQueryEvaluator::Advance(const xml::PlaneEpoch& next,
     batch_options.enable_jump = options_.enable_jump;
     hype::BatchHypeEvaluator eval(new_tree, std::move(subset), batch_options);
     std::vector<std::vector<NodeId>> inside =
-        eval.EvalSubtree(new_tree.root(), region);
+        eval.EvalSubtree(new_tree.root(), region, gp);
+    if (gp != nullptr && gate.tripped()) return gate.status();
     for (size_t i = 0; i < spliced.size(); ++i) {
       const uint32_t q = spliced[i];
       out->configs_interned += eval.stats(i).configs_interned;
@@ -220,10 +246,11 @@ Status StandingQueryEvaluator::Advance(const xml::PlaneEpoch& next,
       std::vector<NodeId> result(merged.size() + inside[i].size());
       std::merge(merged.begin(), merged.end(), inside[i].begin(),
                  inside[i].end(), result.begin());
-      answers_[q] = std::move(result);
+      staged.emplace_back(q, std::move(result));
     }
   }
 
+  for (auto& [q, ans] : staged) answers_[q] = std::move(ans);
   epoch_ = next;
   return Status::OK();
 }

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "automata/mfa.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "hype/transition_plane.h"
 #include "xml/plane_epoch.h"
@@ -75,8 +76,15 @@ class StandingQueryEvaluator {
   /// Rolls the answer sets forward to `next`, which must be the epoch
   /// `delta` produced (versions are checked). `delta` is inspected, not
   /// re-applied.
+  ///
+  /// `control` makes the advance abortable: its gate is polled at the
+  /// documented checkpoint interval during the re-evaluation passes, and an
+  /// abort returns kCancelled / kDeadlineExceeded with the evaluator still
+  /// at the PREVIOUS epoch -- answer updates are staged and committed only
+  /// when every pass finishes, so an aborted Advance is simply retried.
   Status Advance(const xml::PlaneEpoch& next, const xml::TreeDelta& delta,
-                 AdvanceStats* stats = nullptr);
+                 AdvanceStats* stats = nullptr,
+                 const EvalControl& control = {});
 
   /// Sorted answer set of mfas()[q] on the current epoch -- bit-identical
   /// to a cold full evaluation there (the randomized suite and the
@@ -90,9 +98,14 @@ class StandingQueryEvaluator {
 
  private:
   /// Full re-evaluation of `queries` on `epoch`; adds interned counts to
-  /// `interned`.
-  void FullEval(const xml::PlaneEpoch& epoch,
-                const std::vector<uint32_t>& queries, int64_t* interned);
+  /// `interned`. Results go to `staged` when non-null (commit-on-success),
+  /// directly into answers_ otherwise. Returns false iff `gate` tripped
+  /// mid-pass (nothing is staged then).
+  bool FullEval(const xml::PlaneEpoch& epoch,
+                const std::vector<uint32_t>& queries, int64_t* interned,
+                EvalGate* gate,
+                std::vector<std::pair<uint32_t, std::vector<xml::NodeId>>>*
+                    staged);
 
   /// Points the shared store at `epoch`'s tree (cold: planes rebuild).
   void Rebind(const xml::PlaneEpoch& epoch);

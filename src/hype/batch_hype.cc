@@ -149,7 +149,7 @@ bool BatchHypeEvaluator::JumpPlanFor(int32_t state) {
 }
 
 void BatchHypeEvaluator::RunJointPass(xml::NodeId top, int32_t top_eff,
-                                      int32_t root_state) {
+                                      int32_t root_state, EvalGate* gate) {
   const SubtreeLabelIndex* index = options_.index;
   const xml::DocPlane& plane = *plane_;
   const bool jump_allowed = options_.enable_jump && index == nullptr;
@@ -175,6 +175,11 @@ void BatchHypeEvaluator::RunJointPass(xml::NodeId top, int32_t top_eff,
                    jump_allowed && JumpPlanFor(root_state)});
 
   while (!stack.empty()) {
+    // One poll per walk step: a step enters at most one node, so an abort
+    // lands within `checkpoint_interval` node entries of the cancel event.
+    // The caller (EvalSubtree) unwinds the partial pass state.
+    if (gate != nullptr && !gate->Poll()) return;
+
     WalkFrame& frame = stack.back();
 
     // Locate the next position to enter: the cursor itself (full scan) or
@@ -250,13 +255,20 @@ void BatchHypeEvaluator::RunJointPass(xml::NodeId top, int32_t top_eff,
 }
 
 std::vector<std::vector<xml::NodeId>> BatchHypeEvaluator::EvalAll(
-    xml::NodeId context) {
-  return EvalSubtree(context, context);
+    xml::NodeId context, EvalGate* gate) {
+  return EvalSubtree(context, context, gate);
 }
 
 std::vector<std::vector<xml::NodeId>> BatchHypeEvaluator::EvalSubtree(
-    xml::NodeId context, xml::NodeId top) {
+    xml::NodeId context, xml::NodeId top, EvalGate* gate) {
   pass_stats_ = SharedPassStats{};
+  // Entry refresh: a pass that is already cancelled or past its deadline
+  // must abort before any work, countdown notwithstanding (the tree may be
+  // smaller than one checkpoint interval). Mirrors the solo and sharded
+  // entry points.
+  if (gate != nullptr && !gate->Refresh()) {
+    return std::vector<std::vector<xml::NodeId>>(engines_.size());
+  }
   const SubtreeLabelIndex* index = options_.index;
 
   // The context→top spine, top-down (empty when top == context), with the
@@ -294,7 +306,19 @@ std::vector<std::vector<xml::NodeId>> BatchHypeEvaluator::EvalSubtree(
         {static_cast<uint32_t>(i), config, !engine.ConfigSimple(config)});
   }
   if (!root_members.empty()) {
-    RunJointPass(top, eff, InternState(std::move(root_members)));
+    RunJointPass(top, eff, InternState(std::move(root_members)), gate);
+  }
+  if (gate != nullptr && gate->tripped()) {
+    // Aborted mid-pass: reset the per-pass counters on every touched joint
+    // state WITHOUT distributing them (the run's statistics are discarded
+    // along with its answers), leaving the evaluator ready for the next
+    // pass. Engines reset themselves at their next PrepareRoot.
+    for (int32_t id : touched_states_) {
+      states_[id]->visits = 0;
+      states_[id]->jumped = 0;
+    }
+    touched_states_.clear();
+    return std::vector<std::vector<xml::NodeId>>(engines_.size());
   }
 
   // Frameless engines never touched their per-node counters; recover their

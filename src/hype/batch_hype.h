@@ -112,7 +112,15 @@ class BatchHypeEvaluator {
 
   /// Evaluates every MFA at `context` in one shared pass; result i is the
   /// sorted answer set of mfas[i] (== HypeEvaluator(tree, *mfas[i]).Eval).
-  std::vector<std::vector<xml::NodeId>> EvalAll(xml::NodeId context);
+  ///
+  /// `gate` (optional, here and in EvalSubtree) is polled once per walk step;
+  /// when it trips, the pass aborts within one checkpoint interval of node
+  /// entries and returns all-empty answers with `gate->tripped()` set. The
+  /// evaluator stays reusable (joint tables stay warm, the next pass resets
+  /// every engine), but the aborted call's answers/statistics are garbage by
+  /// contract and must be discarded.
+  std::vector<std::vector<xml::NodeId>> EvalAll(xml::NodeId context,
+                                                EvalGate* gate = nullptr);
 
   /// Shard entry point: evaluates every MFA over the subtree rooted at `top`
   /// only, with each engine entering `top` in the configuration its solo
@@ -129,7 +137,8 @@ class BatchHypeEvaluator {
   /// AT path nodes above `top` are likewise the caller's to emit.
   /// EvalSubtree(c, c) == EvalAll(c).
   std::vector<std::vector<xml::NodeId>> EvalSubtree(xml::NodeId context,
-                                                    xml::NodeId top);
+                                                    xml::NodeId top,
+                                                    EvalGate* gate = nullptr);
 
   size_t batch_size() const { return engines_.size(); }
 
@@ -209,7 +218,8 @@ class BatchHypeEvaluator {
                   int32_t eff_set);
   int64_t ComputeEdge(int32_t state, LabelId label, int32_t eff_set);
   bool JumpPlanFor(int32_t state);
-  void RunJointPass(xml::NodeId top, int32_t top_eff, int32_t root_state);
+  void RunJointPass(xml::NodeId top, int32_t top_eff, int32_t root_state,
+                    EvalGate* gate);
 
   const xml::Tree& tree_;
   BatchHypeOptions options_;

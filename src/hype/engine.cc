@@ -282,7 +282,8 @@ SharedPassStats RunSharedPass(const xml::Tree& tree,
                               const SubtreeLabelIndex* index,
                               xml::NodeId context,
                               std::span<HypeEngine* const> engines,
-                              bool enable_jump) {
+                              bool enable_jump,
+                              EvalGate* gate) {
   SharedPassStats pass;
   if (engines.empty()) return pass;
 
@@ -360,6 +361,12 @@ SharedPassStats RunSharedPass(const xml::Tree& tree,
   decide_jump(&stack.back());
 
   while (!stack.empty()) {
+    // One poll per walk step bounds cancellation latency: a step enters at
+    // most one node, so an abort lands within `checkpoint_interval` node
+    // entries of the cancel/deadline event. Partial engine state is simply
+    // abandoned -- the caller discards answers and the next Start() resets.
+    if (gate != nullptr && !gate->Poll()) return pass;
+
     WalkFrame& top = stack.back();
 
     // Locate the next position to enter: the cursor itself (full scan) or

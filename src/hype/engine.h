@@ -102,6 +102,7 @@
 #include <vector>
 
 #include "automata/mfa.h"
+#include "common/cancellation.h"
 #include "hype/cans.h"
 #include "hype/index.h"
 #include "hype/transition_plane.h"
@@ -341,12 +342,19 @@ struct SharedPassStats {
 /// answers/statistics equal what its solo pass would produce, with or
 /// without `enable_jump` (jump engages only without an index, and only at
 /// frames where every live engine is jump-safe).
+///
+/// `gate` (optional) is polled once per walk step, so a cancellation or an
+/// expired deadline aborts the pass within one checkpoint interval of node
+/// entries; the walk returns early with `gate->tripped()` set and the
+/// engines' partial answers must be discarded (the next Start()/PrepareRoot
+/// resets all per-run state, so aborted engines are reusable as-is).
 SharedPassStats RunSharedPass(const xml::Tree& tree,
                               const xml::DocPlane& plane,
                               const SubtreeLabelIndex* index,
                               xml::NodeId context,
                               std::span<HypeEngine* const> engines,
-                              bool enable_jump = true);
+                              bool enable_jump = true,
+                              EvalGate* gate = nullptr);
 
 }  // namespace smoqe::hype
 

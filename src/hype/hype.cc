@@ -30,4 +30,23 @@ std::vector<xml::NodeId> HypeEvaluator::Eval(xml::NodeId context) {
   return engine_.TakeAnswers();
 }
 
+StatusOr<std::vector<xml::NodeId>> HypeEvaluator::Eval(
+    xml::NodeId context, const EvalControl& control) {
+  pass_stats_ = SharedPassStats{};
+  EvalGate gate(&control);
+  if (!gate.Refresh()) return gate.status();  // already cancelled / expired
+  if (engine_.Start(context)) {
+    HypeEngine* engine = &engine_;
+    pass_stats_ = RunSharedPass(tree_, *plane_, engine_.index(), context,
+                                {&engine, 1}, enable_jump_, &gate);
+    if (gate.tripped()) {
+      // Drop the aborted run's partial state; the next Start() resets the
+      // engine, so callers may retry on the same evaluator.
+      (void)engine_.TakeAnswers();
+      return gate.status();
+    }
+  }
+  return engine_.TakeAnswers();
+}
+
 }  // namespace smoqe::hype

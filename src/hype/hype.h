@@ -54,6 +54,12 @@ class HypeEvaluator {
   /// n[[M]]: sorted ids of the answer nodes of the MFA at `context`.
   std::vector<xml::NodeId> Eval(xml::NodeId context);
 
+  /// Abortable Eval: polls `control` at the documented checkpoint interval
+  /// and returns kCancelled / kDeadlineExceeded instead of answers when the
+  /// traversal is aborted. The evaluator stays reusable after an abort.
+  StatusOr<std::vector<xml::NodeId>> Eval(xml::NodeId context,
+                                          const EvalControl& control);
+
   /// Statistics of the last Eval call.
   const EvalStats& stats() const { return engine_.stats(); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/fault_injection.h"
 #include "common/hashing.h"
 
 namespace smoqe::hype {
@@ -518,6 +519,11 @@ SuccRef TransitionPlane::Transition(int32_t config,
     }
   }
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // Delay-only site: stretches the writer-lock hold time on the cold
+  // interning path so the chaos suite exercises readers blocked behind a
+  // slow intern (errors here would poison the shared per-query plane, so
+  // injected error statuses are dropped by construction).
+  SMOQE_FAULT_DELAY_POINT(FaultSite::kPlaneIntern);
   return TransitionLocked(config, tree_label, eff_set, interned);
 }
 

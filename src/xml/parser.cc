@@ -1,6 +1,8 @@
 #include "xml/parser.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,13 +18,23 @@ class Parser {
     SkipMisc();
     if (Eof()) return Err("document has no root element");
     Tree tree;
-    SMOQE_RETURN_IF_ERROR(ParseElement(&tree, kNullNode));
+    SMOQE_RETURN_IF_ERROR(ParseElementTree(&tree));
     SkipMisc();
     if (!Eof()) return Err("content after root element");
     return tree;
   }
 
  private:
+  // An element whose closing tag has not been seen yet. The parser keeps
+  // these on an explicit heap-allocated stack, so document depth is bounded
+  // by memory, not by the thread's call stack: a pathological
+  // <a><a><a>... input returns a ParseError or a tree, never a stack
+  // overflow.
+  struct Open {
+    NodeId id;
+    std::string name;
+  };
+
   bool Eof() const { return pos_ >= in_.size(); }
   char Peek() const { return in_[pos_]; }
   char PeekAt(size_t off) const {
@@ -94,10 +106,13 @@ class Parser {
   }
 
   Status ParseEntity(std::string* out) {
-    // Called on '&'.
+    // Called on '&'. Entity names are short by definition; the length cap
+    // keeps a stray '&' with no terminating ';' from scanning (and echoing
+    // back) the rest of the document.
     Advance();
     std::string ent;
     while (!Eof() && Peek() != ';') {
+      if (ent.size() >= 32) return Err("entity reference too long");
       ent += Peek();
       Advance();
     }
@@ -108,8 +123,17 @@ class Parser {
     else if (ent == "quot") *out += '"';
     else if (ent == "apos") *out += '\'';
     else if (!ent.empty() && ent[0] == '#') {
-      int code = std::atoi(ent.c_str() + 1);
-      if (code <= 0 || code > 127) return Err("unsupported character reference &" + ent + ";");
+      // strtol, not atoi: atoi has undefined behavior on out-of-range input
+      // (&#99999999999999999999;) and silently accepts trailing garbage.
+      const bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      const char* digits = ent.c_str() + (hex ? 2 : 1);
+      char* end = nullptr;
+      errno = 0;
+      const long code = std::strtol(digits, &end, hex ? 16 : 10);
+      if (end == digits || *end != '\0' || errno == ERANGE || code <= 0 ||
+          code > 127) {
+        return Err("unsupported character reference &" + ent + ";");
+      }
       *out += static_cast<char>(code);
     } else {
       return Err("unknown entity &" + ent + ";");
@@ -117,30 +141,45 @@ class Parser {
     return Status::OK();
   }
 
-  Status ParseElement(Tree* tree, NodeId parent) {
+  /// Consumes "<name>" or "<name/>" at the current position, adds the
+  /// element under the innermost open element (or as the root), and pushes
+  /// it onto `open` unless self-closing.
+  Status OpenElement(Tree* tree, std::vector<Open>* open) {
     if (!Consume('<')) return Err("expected '<'");
     SMOQE_ASSIGN_OR_RETURN(std::string name, ParseName());
     SkipWhitespace();
     if (!Eof() && IsNameStart(Peek())) {
       return Err("attributes are not supported by the SMOQE data model");
     }
-    NodeId self = parent == kNullNode ? tree->AddRoot(name)
-                                      : tree->AddElement(parent, name);
+    const NodeId parent = open->empty() ? kNullNode : open->back().id;
+    const NodeId self = parent == kNullNode ? tree->AddRoot(name)
+                                            : tree->AddElement(parent, name);
     if (ConsumeSeq("/>")) return Status::OK();
     if (!Consume('>')) return Err("expected '>' after element name");
-    return ParseContent(tree, self, name);
+    open->push_back({self, std::move(name)});
+    return Status::OK();
   }
 
-  Status ParseContent(Tree* tree, NodeId self, const std::string& name) {
+  /// Parses one element and its entire subtree iteratively.
+  Status ParseElementTree(Tree* tree) {
+    std::vector<Open> open;
     std::string text;
+    // `text` is always flushed (to the innermost open element) before a
+    // child opens or a closing tag pops, so one shared buffer suffices.
     auto flush_text = [&]() {
-      if (text.find_first_not_of(" \t\r\n") != std::string::npos) {
-        tree->AddText(self, text);
+      if (!open.empty() &&
+          text.find_first_not_of(" \t\r\n") != std::string::npos) {
+        tree->AddText(open.back().id, text);
       }
       text.clear();
     };
-    while (!Eof()) {
-      char c = Peek();
+    SMOQE_RETURN_IF_ERROR(OpenElement(tree, &open));
+    while (!open.empty()) {
+      if (Eof()) {
+        return Err("unexpected end of input inside <" + open.back().name +
+                   ">");
+      }
+      const char c = Peek();
       if (c == '<') {
         if (ConsumeSeq("<!--")) {
           while (!Eof() && !ConsumeSeq("-->")) Advance();
@@ -150,7 +189,9 @@ class Parser {
           while (!Eof() && !ConsumeSeq("?>")) Advance();
           continue;
         }
-        if (PeekAt(1) == '!') return Err("CDATA/DOCTYPE sections are not supported");
+        if (PeekAt(1) == '!') {
+          return Err("CDATA/DOCTYPE sections are not supported");
+        }
         if (PeekAt(1) == '/') {
           flush_text();
           Advance();  // <
@@ -158,13 +199,15 @@ class Parser {
           SMOQE_ASSIGN_OR_RETURN(std::string close, ParseName());
           SkipWhitespace();
           if (!Consume('>')) return Err("expected '>' in closing tag");
-          if (close != name) {
-            return Err("mismatched closing tag </" + close + "> for <" + name + ">");
+          if (close != open.back().name) {
+            return Err("mismatched closing tag </" + close + "> for <" +
+                       open.back().name + ">");
           }
-          return Status::OK();
+          open.pop_back();
+          continue;
         }
         flush_text();
-        SMOQE_RETURN_IF_ERROR(ParseElement(tree, self));
+        SMOQE_RETURN_IF_ERROR(OpenElement(tree, &open));
         continue;
       }
       if (c == '&') {
@@ -174,7 +217,7 @@ class Parser {
       text += c;
       Advance();
     }
-    return Err("unexpected end of input inside <" + name + ">");
+    return Status::OK();
   }
 
   std::string_view in_;

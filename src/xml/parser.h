@@ -5,6 +5,11 @@
 // whitespace-only text (dropped). Not supported (by design, the paper's
 // model has neither): attributes, namespaces, CDATA sections, DOCTYPE.
 // Unsupported constructs yield a ParseError with line/column.
+//
+// Robustness contract: ANY input -- truncated, corrupted, adversarially
+// deep -- yields either a Tree or a ParseError, never a crash. Element
+// nesting is tracked on an explicit heap stack, so depth is bounded by
+// memory rather than the thread's call stack.
 
 #ifndef SMOQE_XML_PARSER_H_
 #define SMOQE_XML_PARSER_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/fault_injection.h"
+
 namespace smoqe::xml {
 
 EpochPublisher::EpochPublisher(Tree initial) {
@@ -44,6 +46,12 @@ std::shared_ptr<Tree> EpochPublisher::AcquireWritable(const PlaneEpoch& current,
     }
   }
   if (candidate) {
+    // use_count()==1 above is a relaxed read: it proves the pool held the
+    // last reference but establishes no happens-before edge with the final
+    // reader's release of its copy. Bounce the count once -- copy and
+    // destroy are acq_rel RMWs on the same counter -- to synchronize with
+    // that release before mutating the tree.
+    { std::shared_ptr<Tree> sync = candidate; }
     // Replay is deterministic (see tree_delta.h): the rolled-forward
     // replica is id-for-id identical to the published tree. The log is a
     // version chain (admission guarantees each delta starts where the
@@ -112,6 +120,13 @@ Status EpochPublisher::Apply(const TreeDelta& delta) {
     SMOQE_RETURN_IF_ERROR(delta.ApplyTo(next.get()));
     next_plane = std::make_shared<DocPlane>(DocPlane::Build(*next));
   }
+
+  // Fault site: a failure after the replica is fully built but BEFORE the
+  // publish lock. Returning here drops `next` and `next_plane` wholesale --
+  // live_/epoch_/log_ are untouched, so readers can never observe a torn
+  // snapshot and the writer retries the same delta (the pool merely lost
+  // one recycle candidate). The chaos suite asserts exactly this.
+  SMOQE_FAULT_RETURN_IF_INJECTED(FaultSite::kEpochApply);
 
   std::lock_guard<std::mutex> lock(mu_);
   pool_.push_back({std::move(live_), epoch_.version});

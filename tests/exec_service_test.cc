@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "automata/compiler.h"
+#include "common/cancellation.h"
+#include "common/fault_injection.h"
 #include "gen/fixtures.h"
 #include "gen/hospital_generator.h"
 #include "hype/hype.h"
@@ -291,6 +293,152 @@ TEST(QueryServiceTest, SubmitRacingShutdownNeverHangs) {
       }
     }
   }
+}
+
+// ----------------------------- deadlines, cancellation, admission --
+
+TEST(QueryServiceTest, ExpiredDeadlineResolvesDeadlineExceeded) {
+  xml::Tree tree = Hospital(5, 71);
+  QueryService service(tree, {.num_threads = 2});
+  SubmitOptions submit;
+  submit.deadline = Deadline::After(std::chrono::microseconds(0));
+  auto answer = service.Submit("//diagnosis", submit).get();
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+  auto stats = service.stats();
+  EXPECT_EQ(stats.queries_timed_out, 1);
+  EXPECT_EQ(stats.queries_answered, 1);
+}
+
+TEST(QueryServiceTest, GenerousDeadlineStillAnswersCorrectly) {
+  xml::Tree tree = Hospital(8, 73);
+  QueryService service(tree, {.num_threads = 2});
+  const std::string q = "department/patient/pname";
+  SubmitOptions submit;
+  submit.deadline = Deadline::After(std::chrono::seconds(30));
+  auto answer = service.Submit(q, submit).get();
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value(), SoloAnswer(tree, q));
+  EXPECT_EQ(service.stats().queries_timed_out, 0);
+}
+
+TEST(QueryServiceTest, CancelledTokenResolvesCancelled) {
+  xml::Tree tree = Hospital(5, 79);
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.max_batch = 64;
+  options.max_delay = std::chrono::milliseconds(100);  // held in the queue
+  QueryService service(tree, options);
+  CancelToken token;
+  SubmitOptions submit;
+  submit.cancel = &token;
+  auto future = service.Submit("//diagnosis", submit);
+  token.Cancel();
+  auto answer = future.get();
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(service.stats().queries_cancelled, 1);
+}
+
+TEST(QueryServiceTest, MixedBatchIsolatesPerQueryDeadlines) {
+  // One coalesced admission batch holding an already-expired member and a
+  // healthy one: the expired member resolves kDeadlineExceeded while the
+  // healthy member still gets the full answer (the min-deadline retry).
+  xml::Tree tree = Hospital(8, 83);
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.max_batch = 64;
+  options.max_delay = std::chrono::milliseconds(20);
+  QueryService service(tree, options);
+  const std::string q = "department/patient/pname";
+  SubmitOptions expired;
+  expired.deadline = Deadline::After(std::chrono::microseconds(1));
+  auto doomed = service.Submit("//diagnosis", expired);
+  auto healthy = service.Submit(q);
+  auto doomed_answer = doomed.get();
+  ASSERT_FALSE(doomed_answer.ok());
+  EXPECT_EQ(doomed_answer.status().code(), StatusCode::kDeadlineExceeded);
+  auto healthy_answer = healthy.get();
+  ASSERT_TRUE(healthy_answer.ok());
+  EXPECT_EQ(healthy_answer.value(), SoloAnswer(tree, q));
+}
+
+TEST(QueryServiceTest, QueueDepthSheddingRejectsOverload) {
+  xml::Tree tree = Hospital(5, 89);
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.max_batch = 1000;  // admission holds the queue open...
+  options.max_delay = std::chrono::milliseconds(200);  // ...for 200ms
+  options.max_queue = 2;
+  QueryService service(tree, options);
+  std::vector<std::future<QueryService::Answer>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(service.Submit("//diagnosis"));
+  int ok = 0;
+  int shed = 0;
+  for (auto& f : futures) {
+    auto answer = f.get();
+    if (answer.ok()) {
+      ++ok;
+    } else {
+      ASSERT_EQ(answer.status().code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  // The queue admits at most 2 at a time; at least 6 - 2 - (one batch the
+  // dispatcher may already have popped) must have been shed.
+  EXPECT_GE(shed, 2);
+  EXPECT_EQ(ok + shed, 6);
+  auto stats = service.stats();
+  EXPECT_EQ(stats.queries_shed, shed);
+  EXPECT_EQ(stats.queries_answered, 6);
+}
+
+// The satellite regression of this PR: the dispatcher's batch-admission
+// wait loop used to trust the condition variable's return alone, so a storm
+// of Submit notifications could keep re-arming the wait and hold a batch
+// open far past its age deadline. The fixed loop re-checks the clock after
+// every wakeup. Under an injected dispatcher stall (which widens the
+// window where submissions land mid-collection) and a continuous
+// submission trickle, the first future must still resolve within a few age
+// deadlines -- not when the trickle ends.
+TEST(QueryServiceTest, AgedBatchClosesUnderSubmissionStorm) {
+  xml::Tree tree = Hospital(5, 97);
+#ifdef SMOQE_FAULT_INJECTION
+  auto& fi = FaultInjector::Global();
+  fi.Arm(12345);
+  fi.SetPlan(FaultSite::kServiceDispatch,
+             {FaultKind::kDelay, /*one_in=*/1, std::chrono::milliseconds(2)});
+#endif
+  {
+    QueryServiceOptions options;
+    options.num_threads = 2;
+    options.max_batch = 100000;  // age is the only way a batch can close
+    options.max_delay = std::chrono::milliseconds(2);
+    QueryService service(tree, options);
+
+    std::atomic<bool> stop{false};
+    std::thread storm([&] {
+      // Keep notifying the dispatcher; every Submit is a wakeup.
+      while (!stop.load(std::memory_order_acquire)) {
+        service.Submit("department/patient/pname");
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    });
+    const auto t0 = std::chrono::steady_clock::now();
+    auto answer = service.Submit("//diagnosis").get();
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    stop.store(true, std::memory_order_release);
+    storm.join();
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(answer.value(), SoloAnswer(tree, "//diagnosis"));
+    // Generous bound (the age deadline is 2ms): resolution within 2s proves
+    // the batch closed by age despite the storm, with slack for slow CI.
+    EXPECT_LT(elapsed, std::chrono::seconds(2));
+    EXPECT_GE(service.stats().batches_aged, 1);
+  }
+#ifdef SMOQE_FAULT_INJECTION
+  fi.Disarm();
+#endif
 }
 
 TEST(QueryServiceTest, BatchSizeOneServesImmediately) {
