@@ -1,18 +1,30 @@
-// Access control with security views (the paper's Section 1 scenario): one
-// source document, several user groups, each confined to its own virtual
-// view. Queries are rewritten -- never evaluated on materialized data -- and
-// the example demonstrates the security property: the research group cannot
-// reach sibling records even with descendant queries, while a naive
-// '//'-preserving translation would leak them.
+// Access control with security views (the paper's Section 1 scenario, grown
+// into the multi-tenant policy plane of src/policy/): ONE source document,
+// several roles, each confined to its own virtual view derived from
+// allow/deny/conditional annotations on the hospital DTD. Queries are
+// rewritten per role -- never evaluated on materialized data -- and served
+// through a role-scoped QueryService whose catalog keeps each role's
+// compiled rewritings and transition planes private.
+//
+// The demo shows the pieces the policy plane adds over a hand-written view:
+//   * conditional exposure  (research sees heart-disease patients only),
+//   * deny-overrides across a diamond (intern inherits research's
+//     conditional patients AND auditor's medication ban -- the ban wins),
+//   * hidden roots answer empty, not an error (the terminated role),
+//   * the security property itself: descendant queries cannot escape into
+//     denied regions, while a naive '//'-preserving translation leaks.
 
 #include <cstdio>
+#include <string>
 
 #include "eval/naive_evaluator.h"
+#include "exec/query_service.h"
 #include "gen/fixtures.h"
 #include "gen/hospital_generator.h"
-#include "hype/hype.h"
-#include "rewrite/rewriter.h"
-#include "view/view_parser.h"
+#include "policy/policy_parser.h"
+#include "policy/role_catalog.h"
+#include "policy/role_compiler.h"
+#include "view/materializer.h"
 #include "xpath/parser.h"
 
 namespace {
@@ -41,89 +53,94 @@ int main() {
   params.seed = 7;
   smoqe::xml::Tree source = smoqe::gen::GenerateHospital(params);
 
-  // Group 1: the research institute (sigma_0) -- may see heart-disease
-  // patients and their ancestor records, NOT siblings, names or doctors.
-  smoqe::view::ViewDef research = smoqe::gen::HospitalView();
+  // The whole access-control surface is ONE policy file: the source DTD
+  // plus per-role annotations. Everything else (view derivation, query
+  // rewriting, plane partitioning) is compiled from it on demand.
+  const std::string spec =
+      std::string("policy hospital_acl {\n  source ") +
+      smoqe::gen::kHospitalDtdText + R"(
+  role staff { }
 
-  // The user asks for every diagnosis reachable in their view.
+  // Research: heart-disease patients only, and never their names, their
+  // doctors, or their sibling records.
+  role research extends staff {
+    allow department.patient
+      when "visit/treatment/medication/diagnosis/text() = 'heart disease'" ;
+    deny patient.pname ;
+    deny patient.sibling ;
+    deny visit.doctor ;
+  }
+
+  // Audit: full patient roster, but nothing about medications.
+  role auditor extends staff {
+    deny treatment.medication ;
+  }
+
+  // Interns inherit through a diamond; deny-overrides means the auditor's
+  // medication ban beats research's (conditional) exposure of the subtree.
+  role intern extends research, auditor { }
+
+  // Offboarded accounts keep a role; it just sees nothing.
+  role terminated extends staff {
+    root deny ;
+  }
+}
+)";
+  auto policy = smoqe::policy::ParsePolicy(spec);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+
+  // The serving stack: a catalog of per-role compiled views over the source,
+  // and a QueryService that evaluates each submission inside its role's
+  // partition.
+  smoqe::policy::RoleCatalog catalog(policy.value(), source, nullptr);
+  smoqe::exec::QueryServiceOptions options;
+  options.catalog = &catalog;
+  smoqe::exec::QueryService service(source, options);
+
+  for (const char* role :
+       {"staff", "research", "auditor", "intern", "terminated"}) {
+    smoqe::exec::SubmitOptions submit;
+    submit.role = policy.value().FindRole(role);
+    auto answer = service.Submit("//diagnosis", submit).get();
+    if (!answer.ok()) {
+      std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-10s //diagnosis: %4zu nodes, %d under <sibling>\n", role,
+                answer.value().size(), CountLeaks(source, answer.value()));
+  }
+
+  // The paper's equivalence, through the policy plane: the served answer for
+  // research is bit-identical to evaluating on its materialized view
+  // sigma_research(T) and mapping back through the binding.
+  auto compiled = smoqe::policy::CompileRole(
+      policy.value(), policy.value().FindRole("research"));
+  if (!compiled.ok()) return 1;
+  auto mat = smoqe::view::Materialize(*compiled.value().view, source);
+  if (!mat.ok()) return 1;
   auto query = smoqe::xpath::ParseQuery("//diagnosis");
-  auto mfa = smoqe::rewrite::RewriteToMfa(query.value(), research);
-  if (!mfa.ok()) return 1;
-  smoqe::hype::HypeEvaluator eval(source, mfa.value());
-  auto answers = eval.Eval(source.root());
-  std::printf("research group, //diagnosis: %zu nodes, %d under <sibling>\n",
-              answers.size(), CountLeaks(source, answers));
+  auto oracle = smoqe::view::MapToSource(
+      mat.value(), smoqe::eval::NaiveEvaluator(mat.value().tree)
+                       .Eval(query.value(), mat.value().tree.root()));
+  smoqe::exec::SubmitOptions research_submit;
+  research_submit.role = policy.value().FindRole("research");
+  auto served = service.Submit("//diagnosis", research_submit).get();
+  std::printf("research served == materialize-then-evaluate oracle: %s\n",
+              served.ok() && served.value() == oracle ? "yes" : "NO (BUG)");
 
-  // The INSECURE translation an ad-hoc implementation might produce: keep
-  // '//' on the source. It returns sibling diagnoses -- a privacy breach.
+  // The INSECURE translation an ad-hoc implementation might produce for the
+  // research role: keep '//' on the source. It returns sibling diagnoses --
+  // a privacy breach (Example 1.1). The rewritten automaton above cannot.
   auto insecure = smoqe::xpath::ParseQuery(
       "department/patient[visit/treatment/medication/diagnosis/text() = "
       "'heart disease']//diagnosis");
-  auto leaked =
-      smoqe::eval::NaiveEvaluator(source).Eval(insecure.value(), source.root());
+  auto leaked = smoqe::eval::NaiveEvaluator(source).Eval(insecure.value(),
+                                                         source.root());
   std::printf("naive '//'-preserving translation: %zu nodes, %d under "
               "<sibling>  <-- the leak (Example 1.1)\n",
               leaked.size(), CountLeaks(source, leaked));
-
-  // Group 2: billing -- sees only account names and visit dates.
-  auto billing = smoqe::view::ParseView(R"(
-view billing {
-  source dtd hospital {
-    hospital   -> department* ;
-    department -> name, address, patient* ;
-    name       -> #text ;
-    address    -> street, city, zip ;
-    street     -> #text ;
-    city       -> #text ;
-    zip        -> #text ;
-    patient    -> pname, address, visit*, parent*, sibling* ;
-    pname      -> #text ;
-    visit      -> date, treatment, doctor ;
-    date       -> #text ;
-    treatment  -> test + medication ;
-    test       -> type ;
-    medication -> type, diagnosis ;
-    type       -> #text ;
-    diagnosis  -> #text ;
-    doctor     -> dname, specialty ;
-    dname      -> #text ;
-    specialty  -> #text ;
-    parent     -> patient ;
-    sibling    -> patient ;
-  }
-  view dtd bills {
-    bills   -> account* ;
-    account -> pname, charge* ;
-    pname   -> #text ;
-    charge  -> date ;
-    date    -> #text ;
-  }
-  sigma {
-    bills.account  = "department/patient" ;
-    account.pname  = "pname" ;
-    account.charge = "visit" ;
-    charge.date    = "date" ;
-  }
-}
-)");
-  if (!billing.ok()) {
-    std::fprintf(stderr, "%s\n", billing.status().ToString().c_str());
-    return 1;
-  }
-  auto bq = smoqe::xpath::ParseQuery("account[charge]/pname");
-  auto bmfa = smoqe::rewrite::RewriteToMfa(bq.value(), billing.value());
-  if (!bmfa.ok()) return 1;
-  smoqe::hype::HypeEvaluator beval(source, bmfa.value());
-  std::printf("billing group, account[charge]/pname: %zu accounts\n",
-              beval.Eval(source.root()).size());
-
-  // A query about diagnoses is meaningless in the billing view: it rewrites
-  // to an automaton that selects nothing, rather than leaking data.
-  auto forbidden = smoqe::xpath::ParseQuery("//diagnosis");
-  auto fmfa = smoqe::rewrite::RewriteToMfa(forbidden.value(), billing.value());
-  if (!fmfa.ok()) return 1;
-  smoqe::hype::HypeEvaluator feval(source, fmfa.value());
-  std::printf("billing group, //diagnosis: %zu nodes (view hides them)\n",
-              feval.Eval(source.root()).size());
   return 0;
 }

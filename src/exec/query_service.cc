@@ -9,11 +9,16 @@
 
 namespace smoqe::exec {
 
-// See the header: one reusable ShardedBatchEvaluator per recent MFA set.
+// See the header: one reusable ShardedBatchEvaluator per recent MFA set
+// within one plane universe (the service's, or one role partition's).
 struct QueryService::CachedEvaluator {
   std::vector<std::shared_ptr<const automata::Mfa>> mfas;  // pointer-sorted
   ShardedBatchEvaluator eval;
   int64_t last_used = 0;
+  hype::TransitionPlaneStore* store = nullptr;  // cache-key component
+  // Keeps the role partition (its planes, referenced by `eval`) alive while
+  // this evaluator is cached, even across catalog eviction of a cold role.
+  std::shared_ptr<policy::RoleCatalog::Entry> pin;
 
   CachedEvaluator(const xml::Tree& tree,
                   std::vector<std::shared_ptr<const automata::Mfa>> sorted,
@@ -73,10 +78,15 @@ std::future<QueryService::Answer> QueryService::Submit(
   p.enqueued = std::chrono::steady_clock::now();
   p.deadline = submit_options.deadline;
   p.cancel = submit_options.cancel;
+  p.role = submit_options.role;
   std::future<Answer> result = p.promise.get_future();
   // Injected admission failure (chaos suite): resolves the future before the
   // query ever reaches the queue, like a real overload shed would.
   Status admit = Status::OK();
+  if (p.role != policy::kNoRole && options_.catalog == nullptr) {
+    admit = Status::InvalidArgument(
+        "role-scoped Submit on a service with no role catalog");
+  }
   SMOQE_FAULT_HIT(FaultSite::kServiceAdmit,
                   [&](Status s) { admit = std::move(s); });
   {
@@ -107,6 +117,7 @@ std::future<QueryService::Answer> QueryService::Submit(
       p.promise.set_value(std::move(admit));
       return result;
     }
+    if (p.role != policy::kNoRole) ++stats_.role_queries;
     pending_.push_back(std::move(p));
     // Under the lock for the same lifetime reason as in Shutdown: after we
     // release mu_, a racing Shutdown/destructor may run to completion, and
@@ -179,10 +190,12 @@ void QueryService::DispatcherLoop() {
 
 QueryService::CachedEvaluator& QueryService::EvaluatorFor(
     std::vector<std::shared_ptr<const automata::Mfa>> sorted_mfas,
-    bool* reused) {
+    hype::TransitionPlaneStore* store,
+    std::shared_ptr<policy::RoleCatalog::Entry> pin, bool* reused) {
   ++evaluator_clock_;
   *reused = false;
   for (auto& entry : evaluators_) {
+    if (entry->store != store) continue;
     if (entry->mfas.size() != sorted_mfas.size()) continue;
     bool equal = true;
     for (size_t k = 0; k < sorted_mfas.size(); ++k) {
@@ -211,13 +224,15 @@ QueryService::CachedEvaluator& QueryService::EvaluatorFor(
   ShardedOptions sharded_options;
   sharded_options.index = options_.index;
   sharded_options.plane = plane_;
-  sharded_options.plane_store = &plane_store_;
+  sharded_options.plane_store = store;
   sharded_options.pool = &pool_;
   sharded_options.num_shards = options_.num_shards;
   sharded_options.enable_jump = options_.enable_jump;
   evaluators_.push_back(std::make_unique<CachedEvaluator>(
       tree_, std::move(sorted_mfas), sharded_options));
   evaluators_.back()->last_used = evaluator_clock_;
+  evaluators_.back()->store = store;
+  evaluators_.back()->pin = std::move(pin);
   return *evaluators_.back();
 }
 
@@ -255,16 +270,47 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
     }
   }
 
-  // Compile through the cache; group batch entries by compiled MFA so
-  // duplicate queries (same normalized text) are evaluated once. The
-  // shared_ptrs keep evicted entries alive through the pass.
+  // Compile each member through its serving partition's cache -- the role's
+  // catalog entry for role-scoped queries ((role, query)-keyed rewriting),
+  // the service-level cache otherwise -- and group batch entries by compiled
+  // MFA so duplicate queries (same normalized text, same role) are evaluated
+  // once. Two roles never share an MFA object, so coalescing cannot cross
+  // roles. The shared_ptrs keep evicted entries alive through the pass.
   std::vector<std::shared_ptr<const automata::Mfa>> mfas;
   std::vector<std::vector<size_t>> waiters;  // per MFA: batch indices
+  // Per MFA slot: the role partition it compiled through (null = service).
+  std::vector<std::shared_ptr<policy::RoleCatalog::Entry>> slot_entry;
   std::unordered_map<const automata::Mfa*, size_t> slot_of;
   int64_t coalesced = 0;
+  int64_t role_denied_empty = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     if (!live[i]) continue;
-    auto compiled = cache_.Get(batch[i].text);
+    std::shared_ptr<policy::RoleCatalog::Entry> entry;
+    if (batch[i].role != policy::kNoRole) {
+      auto acquired = options_.catalog->Acquire(batch[i].role);
+      if (!acquired.ok()) {
+        ++failed;
+        resolve(i, acquired.status());
+        continue;
+      }
+      entry = std::move(acquired.value());
+      if (entry->root_hidden()) {
+        // The role sees nothing. Still a parse boundary: garbage stays an
+        // error; a well-formed query answers the empty node set (the view
+        // is empty, not broken).
+        auto normalized = rewrite::RewriteCache::NormalizeQuery(batch[i].text);
+        if (!normalized.ok()) {
+          ++failed;
+          resolve(i, normalized.status());
+        } else {
+          ++role_denied_empty;
+          resolve(i, std::vector<xml::NodeId>{});
+        }
+        continue;
+      }
+    }
+    auto compiled = entry != nullptr ? entry->Compile(batch[i].text)
+                                     : cache_.Get(batch[i].text);
     if (!compiled.ok()) {
       ++failed;
       resolve(i, compiled.status());
@@ -273,31 +319,67 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
     std::shared_ptr<const automata::Mfa> mfa = std::move(compiled.value().mfa);
     auto [it, inserted] = slot_of.emplace(mfa.get(), mfas.size());
     if (inserted) {
-      // Register the query's transition plane now, seeded with the cache's
-      // warm CSR mirror and pinning the MFA to the entry: every evaluator
-      // this batch (or a later one) creates for the MFA shares it.
-      plane_store_.For(mfa.get(), std::move(compiled.value().compiled), mfa);
+      // Register the query's transition plane now -- in the partition that
+      // compiled it, seeded with the cache's warm CSR mirror and pinning
+      // the MFA to the entry: every evaluator this batch (or a later one)
+      // creates for the MFA shares it.
+      hype::TransitionPlaneStore& store =
+          entry != nullptr ? entry->planes() : plane_store_;
+      store.For(mfa.get(), std::move(compiled.value().compiled), mfa);
       mfas.push_back(std::move(mfa));
       waiters.emplace_back();
+      slot_entry.push_back(std::move(entry));
     } else {
       ++coalesced;
     }
     waiters[it->second].push_back(i);
   }
 
-  // Min-deadline retry loop: each round evaluates the still-live members
-  // under the EARLIEST of their deadlines (plus a poll over their cancel
-  // tokens). A kDeadlineExceeded abort resolves every expired member -- at
-  // least the min-deadline holder, so each retry strictly shrinks the set
-  // and the loop terminates -- and re-runs the remainder, giving per-query
-  // deadline isolation inside one coalesced batch. A kCancelled abort
-  // likewise resolves the cancelled members and retries. Any other failure
-  // (injected shard fault -> kUnavailable) is terminal for the whole round.
-  bool evaluator_reused = false;
+  // Partition the MFA slots by serving partition: one evaluation group per
+  // role (plus one for service-level queries). Isolation is the point --
+  // each group evaluates against its own plane universe, so a shared pass
+  // never mixes two roles' interned state. Single-tenant batches collapse
+  // to exactly one group, the pre-policy behavior.
+  struct Group {
+    std::shared_ptr<policy::RoleCatalog::Entry> entry;  // null = service
+    std::vector<size_t> slots;
+  };
+  std::vector<Group> groups;
+  for (size_t s = 0; s < mfas.size(); ++s) {
+    policy::RoleCatalog::Entry* key = slot_entry[s].get();
+    Group* group = nullptr;
+    for (Group& g : groups) {
+      if (g.entry.get() == key) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back({slot_entry[s], {}});
+      group = &groups.back();
+    }
+    group->slots.push_back(s);
+  }
+
+  // Min-deadline retry loop, per group: each round evaluates the group's
+  // still-live members under the EARLIEST of their deadlines (plus a poll
+  // over their cancel tokens). A kDeadlineExceeded abort resolves every
+  // expired member -- at least the min-deadline holder, so each retry
+  // strictly shrinks the set and the loop terminates -- and re-runs the
+  // remainder, giving per-query deadline isolation inside one coalesced
+  // batch. A kCancelled abort likewise resolves the cancelled members and
+  // retries. Any other failure (injected shard fault -> kUnavailable) is
+  // terminal for the whole round's group.
+  int64_t evaluator_reuses_batch = 0;
+  int64_t role_groups = 0;
+  for (Group& group : groups) {
+  hype::TransitionPlaneStore* store =
+      group.entry != nullptr ? &group.entry->planes() : &plane_store_;
+  if (group.entry != nullptr) ++role_groups;
   bool first_round = true;
   for (;;) {
-    std::vector<size_t> slots;  // MFA slots with >= 1 live waiter
-    for (size_t s = 0; s < waiters.size(); ++s) {
+    std::vector<size_t> slots;  // group MFA slots with >= 1 live waiter
+    for (size_t s : group.slots) {
       for (size_t i : waiters[s]) {
         if (live[i]) {
           slots.push_back(s);
@@ -350,9 +432,10 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
     for (size_t k : order) sorted.push_back(mfas[slots[k]]);
 
     bool reused = false;
-    CachedEvaluator& cached = EvaluatorFor(std::move(sorted), &reused);
+    CachedEvaluator& cached =
+        EvaluatorFor(std::move(sorted), store, group.entry, &reused);
     if (first_round) {
-      evaluator_reused = reused;
+      evaluator_reuses_batch += reused ? 1 : 0;
       first_round = false;
     }
     std::vector<std::vector<xml::NodeId>> sorted_answers =
@@ -424,6 +507,7 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
       break;
     }
   }
+  }  // per-group evaluation
 
   // Account the batch BEFORE resolving any promise: a client whose future
   // has resolved always finds itself in the counters.
@@ -435,7 +519,9 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
     stats_.queries_shed += shed;
     stats_.queries_cancelled += cancelled;
     stats_.coalesced_duplicates += coalesced;
-    stats_.evaluator_reuses += evaluator_reused ? 1 : 0;
+    stats_.evaluator_reuses += evaluator_reuses_batch;
+    stats_.role_groups += role_groups;
+    stats_.role_denied_empty += role_denied_empty;
     stats_.cache = cache_.stats();
   }
 

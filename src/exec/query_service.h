@@ -13,6 +13,12 @@
 // query, enforced by the randomized multi-client stress suite
 // (tests/exec_service_test.cc).
 //
+// Multi-tenant mode (QueryServiceOptions::catalog): a Submit carrying a
+// policy::RoleId compiles through the role's catalog partition and is
+// evaluated only alongside same-role queries -- per-role rewrite caches and
+// transition planes mean no role ever observes (or warms) another's compiled
+// state. See policy/role_catalog.h.
+//
 // Threading model: clients touch only the pending queue (one mutex);
 // the dispatcher alone touches the cache and the evaluators, so neither
 // needs locking; shard walks fan out over the pool with shard-local engine
@@ -38,6 +44,7 @@
 #include "common/thread_pool.h"
 #include "hype/index.h"
 #include "hype/transition_plane.h"
+#include "policy/role_catalog.h"
 #include "rewrite/rewrite_cache.h"
 #include "view/view_def.h"
 #include "xml/doc_plane.h"
@@ -53,6 +60,15 @@ struct QueryServiceOptions {
   /// Optional subtree-label index over the served document (OptHyPE
   /// pruning, shared read-only across all shards).
   const hype::SubtreeLabelIndex* index = nullptr;
+
+  /// Multi-tenant mode: a role catalog over the served document. A Submit
+  /// carrying a role is compiled through the role's catalog partition --
+  /// the (role, query)-keyed rewriting and the role-private transition
+  /// planes -- and evaluated only alongside same-role queries; a Submit
+  /// without a role uses the service-level `view`/cache exactly as before.
+  /// The catalog (and its policy/tree/index) must outlive the service, and
+  /// must be built over the same tree and index the service serves.
+  policy::RoleCatalog* catalog = nullptr;
 
   /// Optional columnar plane of the served document; the service builds and
   /// owns one when null (one O(N) pass at construction, shared by every
@@ -108,6 +124,12 @@ struct SubmitOptions {
   /// kCancelled at the service's next checkpoint. Must outlive the future's
   /// resolution.
   CancelToken* cancel = nullptr;
+
+  /// The submitting tenant's role (requires QueryServiceOptions::catalog;
+  /// rejected at admission otherwise). The query is answered over the
+  /// role's security view; a role whose root is denied answers the empty
+  /// node set (not an error) for every well-formed query.
+  policy::RoleId role = policy::kNoRole;
 };
 
 /// Counter snapshot returned by QueryService::stats(): submission/answer
@@ -123,10 +145,16 @@ struct QueryServiceStats {
   int64_t batches_aged = 0;  // admission closed by max_delay (or shutdown)
   int64_t max_batch_seen = 0;
   int64_t coalesced_duplicates = 0;  // same-MFA queries evaluated once
-  int64_t evaluator_reuses = 0;  // batches served by a warm sharded evaluator
+  // Role-partition groups served by a warm sharded evaluator (one count
+  // per group per batch; every batch is a single group in single-tenant
+  // service use, preserving the old per-batch meaning).
+  int64_t evaluator_reuses = 0;
   int64_t queries_timed_out = 0;  // resolved kDeadlineExceeded
   int64_t queries_shed = 0;       // resolved kResourceExhausted (admission)
   int64_t queries_cancelled = 0;  // resolved kCancelled (client token)
+  int64_t role_queries = 0;       // submissions carrying a role
+  int64_t role_groups = 0;        // per-role evaluation groups dispatched
+  int64_t role_denied_empty = 0;  // root-hidden roles answered empty
   rewrite::RewriteCacheStats cache;
 };
 
@@ -178,6 +206,7 @@ class QueryService {
     std::chrono::steady_clock::time_point enqueued;
     Deadline deadline;
     CancelToken* cancel = nullptr;
+    policy::RoleId role = policy::kNoRole;
   };
 
   // A recently used sharded evaluator, keyed by its (pointer-sorted) MFA
@@ -189,9 +218,13 @@ class QueryService {
 
   void DispatcherLoop();
   void ProcessBatch(std::vector<Pending> batch);
+  // `store` selects the plane universe (the service's own, or a role
+  // partition's); `pin` keeps a role partition alive while its evaluator
+  // is cached (null for service-level evaluators).
   CachedEvaluator& EvaluatorFor(
       std::vector<std::shared_ptr<const automata::Mfa>> sorted_mfas,
-      bool* reused);
+      hype::TransitionPlaneStore* store,
+      std::shared_ptr<policy::RoleCatalog::Entry> pin, bool* reused);
 
   const xml::Tree& tree_;
   QueryServiceOptions options_;

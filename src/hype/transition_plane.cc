@@ -612,6 +612,44 @@ std::span<const LabelId> TransitionPlane::RelevantLabels(int32_t config,
   return cur.relevant;
 }
 
+int64_t TransitionPlane::ApproxBytes() const {
+  // Exclusive rather than shared: size_ and the vectors below are written
+  // under the exclusive lock, and this path is cold.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto vec_bytes = [](const auto& v) {
+    return static_cast<int64_t>(v.capacity() * sizeof(v[0]));
+  };
+  int64_t bytes = 0;
+  const int32_t num_configs = configs_.size();
+  for (int32_t id = 0; id < num_configs; ++id) {
+    const Config& c = configs_[id];
+    bytes += sizeof(Config);
+    bytes += vec_bytes(c.mstates) + vec_bytes(c.seeds) + vec_bytes(c.freq) +
+             vec_bytes(c.finals) + vec_bytes(c.ftrans) + vec_bytes(c.ops) +
+             vec_bytes(c.operand_pos) + vec_bytes(c.annotated) +
+             vec_bytes(c.final_mstates) + vec_bytes(c.eps_pairs) +
+             vec_bytes(c.relevant);
+    if (c.next != nullptr) {
+      bytes += int64_t{num_tree_labels_} * sizeof(std::atomic<uint64_t>);
+    }
+    if (c.next_by_eff != nullptr) {
+      bytes += int64_t{num_tree_labels_} * sizeof(std::atomic<Config::EffNode*>);
+    }
+  }
+  const int32_t num_aux = aux_.size();
+  for (int32_t id = 0; id < num_aux; ++id) {
+    const TransAux& a = aux_[id];
+    bytes +=
+        sizeof(TransAux) + vec_bytes(a.label_edges) + vec_bytes(a.fold_pairs);
+  }
+  bytes += static_cast<int64_t>(eff_nodes_.size() * sizeof(Config::EffNode));
+  // Hash-table overhead, counted coarsely per entry.
+  bytes += static_cast<int64_t>(
+      (config_buckets_.size() + aux_buckets_.size()) * 48 +
+      (compose_memo_.size() + root_config_cache_.size()) * 24);
+  return bytes;
+}
+
 std::shared_ptr<TransitionPlane> TransitionPlaneStore::For(
     const automata::Mfa* mfa,
     std::shared_ptr<const automata::CompiledMfa> compiled,
@@ -638,6 +676,7 @@ std::shared_ptr<TransitionPlane> TransitionPlaneStore::For(
       }
       if (victim == planes_.end()) break;  // everything is in use
       planes_.erase(victim);
+      ++evictions_;
     }
   }
   return entry.plane;
@@ -646,6 +685,18 @@ std::shared_ptr<TransitionPlane> TransitionPlaneStore::For(
 size_t TransitionPlaneStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return planes_.size();
+}
+
+PlaneStoreStats TransitionPlaneStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PlaneStoreStats out;
+  out.planes = static_cast<int64_t>(planes_.size());
+  out.evictions = evictions_;
+  for (const auto& [mfa, entry] : planes_) {
+    out.configs_interned += entry.plane->configs_interned();
+    out.approx_bytes += entry.plane->ApproxBytes();
+  }
+  return out;
 }
 
 }  // namespace smoqe::hype

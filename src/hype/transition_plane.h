@@ -72,6 +72,14 @@
 
 namespace smoqe::hype {
 
+/// Aggregated footprint of a TransitionPlaneStore (see stats()).
+struct PlaneStoreStats {
+  int64_t planes = 0;            // currently resident
+  int64_t evictions = 0;         // soft-evicted since construction
+  int64_t configs_interned = 0;  // summed over resident planes
+  int64_t approx_bytes = 0;      // summed TransitionPlane::ApproxBytes
+};
+
 /// A memoized successor: the child configuration plus the id of the
 /// precomputed parent→child edge data (cans label edges, fold pairs);
 /// aux -1 = both empty (the common navigation case).
@@ -252,6 +260,12 @@ class TransitionPlane {
     return total_interned_.load(std::memory_order_relaxed);
   }
 
+  /// Approximate resident bytes of the interned state (configurations with
+  /// their precomputed views and lazy transition rows, TransAux records,
+  /// memo tables). Takes the writer lock briefly; intended for stats
+  /// endpoints and benches, not hot paths.
+  int64_t ApproxBytes() const;
+
   const automata::CompiledMfa& compiled() const { return *compiled_; }
   const SubtreeLabelIndex* index() const { return index_; }
   const xml::Tree& tree() const { return tree_; }
@@ -371,6 +385,11 @@ class TransitionPlaneStore {
   size_t size() const;
   const SubtreeLabelIndex* index() const { return index_; }
 
+  /// Resident planes, lifetime evictions, and the aggregate interned
+  /// footprint across resident planes. Walks every plane; cheap at serving
+  /// scale but not free -- stats endpoints, not hot paths.
+  PlaneStoreStats stats() const;
+
  private:
   struct Entry {
     std::shared_ptr<TransitionPlane> plane;
@@ -383,6 +402,7 @@ class TransitionPlaneStore {
   Options options_;
   mutable std::mutex mu_;
   int64_t clock_ = 0;
+  int64_t evictions_ = 0;
   std::unordered_map<const automata::Mfa*, Entry> planes_;
 };
 

@@ -1,0 +1,174 @@
+#include "policy/policy.h"
+
+#include <algorithm>
+
+#include "xpath/parser.h"
+#include "xpath/printer.h"
+#include "xpath/x_fragment.h"
+
+namespace smoqe::policy {
+
+StatusOr<Annotation> Annotation::If(std::string_view cond_text) {
+  // The xpath parser exposes queries, not bare qualifiers; `*[q]` embeds the
+  // qualifier in a query so any legal predicate syntax (paths, text()='c',
+  // not/and/or) parses without a second grammar.
+  auto wrapped = xpath::ParseQuery("*[" + std::string(cond_text) + "]");
+  if (!wrapped.ok()) {
+    return Status::ParseError("policy condition '" + std::string(cond_text) +
+                              "': " + wrapped.status().message());
+  }
+  const xpath::PathPtr& p = wrapped.value();
+  if (p->kind != xpath::PathKind::kFilter || p->filter == nullptr) {
+    return Status::ParseError("policy condition '" + std::string(cond_text) +
+                              "' did not parse as a qualifier");
+  }
+  if (xpath::UsesPosition(p->filter)) {
+    return Status::Unimplemented(
+        "policy condition '" + std::string(cond_text) +
+        "' uses position(), which has no source-stable meaning through "
+        "views");
+  }
+  Annotation ann;
+  ann.kind = AccessKind::kCond;
+  ann.cond = p->filter;
+  ann.cond_text = xpath::ToString(p->filter);
+  return ann;
+}
+
+Policy::Policy(dtd::Dtd source_dtd) : source_dtd_(std::move(source_dtd)) {}
+
+StatusOr<RoleId> Policy::AddRole(std::string_view name,
+                                 const std::vector<std::string>& parents) {
+  if (name.empty()) return Status::InvalidArgument("empty role name");
+  if (by_name_.find(name) != by_name_.end()) {
+    return Status::InvalidArgument("duplicate role '" + std::string(name) +
+                                   "'");
+  }
+  Role role;
+  role.name = std::string(name);
+  for (const std::string& p : parents) {
+    RoleId pid = FindRole(p);
+    if (pid == kNoRole) {
+      return Status::NotFound("role '" + std::string(name) +
+                              "' extends undeclared role '" + p +
+                              "' (parents must be declared first)");
+    }
+    if (std::find(role.parents.begin(), role.parents.end(), pid) ==
+        role.parents.end()) {
+      role.parents.push_back(pid);
+    }
+  }
+  RoleId id = static_cast<RoleId>(roles_.size());
+  by_name_.emplace(role.name, id);
+  roles_.push_back(std::move(role));
+  return id;
+}
+
+RoleId Policy::FindRole(std::string_view name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoRole : it->second;
+}
+
+Status Policy::Annotate(RoleId r, std::string_view a, std::string_view b,
+                        Annotation ann) {
+  if (r < 0 || r >= num_roles()) {
+    return Status::InvalidArgument("unknown role id");
+  }
+  dtd::TypeId ta = source_dtd_.FindType(a);
+  dtd::TypeId tb = source_dtd_.FindType(b);
+  if (ta == dtd::kNoType || tb == dtd::kNoType) {
+    return Status::NotFound("type '" +
+                            std::string(ta == dtd::kNoType ? a : b) +
+                            "' is not declared in the source DTD");
+  }
+  if (!source_dtd_.HasEdge(ta, tb)) {
+    return Status::InvalidArgument("(" + std::string(a) + ", " +
+                                   std::string(b) +
+                                   ") is not an edge of the source DTD");
+  }
+  auto [it, inserted] = roles_[r].local.emplace(std::make_pair(ta, tb),
+                                                std::move(ann));
+  if (!inserted) {
+    return Status::InvalidArgument("role '" + roles_[r].name +
+                                   "' annotates (" + std::string(a) + ", " +
+                                   std::string(b) + ") twice");
+  }
+  return Status::OK();
+}
+
+Status Policy::AnnotateRoot(RoleId r, Annotation ann) {
+  if (r < 0 || r >= num_roles()) {
+    return Status::InvalidArgument("unknown role id");
+  }
+  if (ann.kind == AccessKind::kCond) {
+    return Status::Unimplemented(
+        "a conditional root is not expressible as a security view; annotate "
+        "the root's child edges instead");
+  }
+  if (roles_[r].root_annotated) {
+    return Status::InvalidArgument("role '" + roles_[r].name +
+                                   "' annotates the root twice");
+  }
+  roles_[r].root = std::move(ann);
+  roles_[r].root_annotated = true;
+  return Status::OK();
+}
+
+const Annotation* Policy::Local(RoleId r, dtd::TypeId a, dtd::TypeId b) const {
+  const auto& local = roles_[r].local;
+  auto it = local.find({a, b});
+  return it == local.end() ? nullptr : &it->second;
+}
+
+Annotation Policy::Effective(RoleId r, dtd::TypeId a, dtd::TypeId b) const {
+  if (const Annotation* local = Local(r, a, b)) return *local;
+  // Inherited: deny-overrides, then condition conjunction, then allow. The
+  // role DAG is acyclic by construction, so plain recursion terminates; the
+  // graphs are tiny (human-authored), so no memo is needed.
+  std::vector<Annotation> conds;
+  for (RoleId p : roles_[r].parents) {
+    Annotation inherited = Effective(p, a, b);
+    switch (inherited.kind) {
+      case AccessKind::kDeny:
+        return Annotation::Deny();
+      case AccessKind::kCond: {
+        // Dedup by normalized text so a diamond does not square its
+        // condition; first-parent order pins the conjunction shape.
+        bool seen = false;
+        for (const Annotation& c : conds) {
+          seen |= c.cond_text == inherited.cond_text;
+        }
+        if (!seen) conds.push_back(std::move(inherited));
+        break;
+      }
+      case AccessKind::kAllow:
+        break;
+    }
+  }
+  if (conds.empty()) return Annotation::Allow();
+  Annotation out = std::move(conds.front());
+  for (size_t i = 1; i < conds.size(); ++i) {
+    out.cond = xpath::FAnd(out.cond, conds[i].cond);
+    out.cond_text += " and " + conds[i].cond_text;
+  }
+  return out;
+}
+
+bool Policy::RootVisible(RoleId r) const {
+  const Role& role = roles_[r];
+  if (role.root_annotated) return role.root.kind != AccessKind::kDeny;
+  for (RoleId p : role.parents) {
+    if (!RootVisible(p)) return false;  // deny-overrides
+  }
+  return true;
+}
+
+Status Policy::Validate() const {
+  SMOQE_RETURN_IF_ERROR(source_dtd_.Validate());
+  if (roles_.empty()) {
+    return Status::FailedPrecondition("policy declares no roles");
+  }
+  return Status::OK();
+}
+
+}  // namespace smoqe::policy

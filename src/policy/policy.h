@@ -1,0 +1,139 @@
+// Annotation-based access control over a source DTD (the paper's security-
+// view scenario, Section 1, grown into a multi-tenant policy plane).
+//
+// A Policy attaches to ONE source DTD and declares a set of ROLES. A role
+// carries security annotations ann_R(A, B) on the productions of the source
+// DTD -- one of
+//   allow        the B-children of an A-element are visible,
+//   deny         the B-children (and their whole subtrees) are hidden,
+//   cond [q]     a B-child is visible iff the qualifier q holds at it
+//                (q is an Xreg predicate over the SOURCE document)
+// -- plus an optional root annotation (deny hides the entire document from
+// the role). This is the annotation model of Fan et al. and of Mahfoud &
+// Imine ("Secure Querying of Recursive XML Views"): commercial systems
+// specify security views the same way (see view/view_def.h).
+//
+// ROLE INHERITANCE. Roles form a DAG: a role may extend any number of
+// already-declared parents (declaration order makes cycles impossible by
+// construction, so diamonds are the interesting case). The EFFECTIVE
+// annotation of (A, B) under role R is resolved deterministically:
+//
+//   1. a local annotation of R wins outright;
+//   2. otherwise the parents' effective annotations are combined with
+//      DENY-OVERRIDES: any deny makes the edge denied; otherwise every
+//      distinct inherited condition must hold (their conjunction, in parent
+//      declaration order -- multi-label resolution is associative and
+//      commutative up to filter order, and the order is pinned so compiled
+//      views are reproducible); otherwise an inherited allow allows;
+//   3. an edge no ancestor role mentions is ALLOWED (the open default of the
+//      annotation model: visibility flows downward from the root, and deny
+//      is the explicit act). A closed policy is expressed by denying at the
+//      top role.
+//
+// DENY IS FINAL: hiding (A, B) hides the whole subtree of every B-child --
+// a descendant annotation cannot resurrect nodes below a denied edge. (The
+// Mahfoud-Imine model can reconnect visible descendants over hidden
+// regions; that relaxation is deliberately out of scope here because it
+// weakens the upward-closure reasoning the conformance suite relies on.)
+//
+// Compilation of a role into a servable ViewDef lives in
+// policy/role_compiler.h; the multi-tenant serving registry (per-role
+// rewrite caches and transition-plane partitions) in policy/role_catalog.h.
+
+#ifndef SMOQE_POLICY_POLICY_H_
+#define SMOQE_POLICY_POLICY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "xpath/ast.h"
+
+namespace smoqe::policy {
+
+using RoleId = int32_t;
+inline constexpr RoleId kNoRole = -1;
+
+enum class AccessKind : uint8_t { kAllow, kDeny, kCond };
+
+/// One security annotation. Conditions are Xreg qualifiers over the source
+/// document, evaluated at the candidate child node (so `ann patient.visit
+/// cond "not(treatment/medication)"` hides medicated visits).
+struct Annotation {
+  AccessKind kind = AccessKind::kAllow;
+  xpath::FilterPtr cond;   // kCond only
+  std::string cond_text;   // normalized spelling, for messages and dedup
+
+  static Annotation Allow() { return {}; }
+  static Annotation Deny() { return {AccessKind::kDeny, nullptr, {}}; }
+  /// Parses `cond_text` as a qualifier (anything legal inside `[...]`).
+  /// position() is rejected: it has no source-stable meaning through views.
+  static StatusOr<Annotation> If(std::string_view cond_text);
+};
+
+class Policy {
+ public:
+  /// The policy owns its copy of the source DTD; every annotation refers to
+  /// its productions.
+  explicit Policy(dtd::Dtd source_dtd);
+
+  /// Declares a role. Parents must already be declared (which keeps the
+  /// role graph acyclic by construction); duplicates are an error.
+  StatusOr<RoleId> AddRole(std::string_view name,
+                           const std::vector<std::string>& parents = {});
+
+  RoleId FindRole(std::string_view name) const;
+  const std::string& role_name(RoleId r) const { return roles_[r].name; }
+  int num_roles() const { return static_cast<int>(roles_.size()); }
+  const std::vector<RoleId>& parents(RoleId r) const {
+    return roles_[r].parents;
+  }
+
+  /// Sets ann_R(A, B). (A, B) must be an edge of the source DTD; a role may
+  /// annotate each edge at most once (re-annotation is a policy-authoring
+  /// bug, not a runtime state change).
+  Status Annotate(RoleId r, std::string_view a, std::string_view b,
+                  Annotation ann);
+
+  /// Root visibility for the role (kCond is rejected: a conditional root is
+  /// not expressible as a view). Default: visible, subject to inheritance.
+  Status AnnotateRoot(RoleId r, Annotation ann);
+
+  /// The deterministic effective annotation of the edge (see the resolution
+  /// rules in the file comment). `r` must be a declared role.
+  Annotation Effective(RoleId r, dtd::TypeId a, dtd::TypeId b) const;
+
+  /// Effective root visibility under deny-overrides inheritance.
+  bool RootVisible(RoleId r) const;
+
+  /// Structural check: the source DTD validates and at least one role is
+  /// declared. (Edge existence and condition well-formedness are enforced
+  /// eagerly by Annotate/If.)
+  Status Validate() const;
+
+  const dtd::Dtd& source_dtd() const { return source_dtd_; }
+
+ private:
+  struct Role {
+    std::string name;
+    std::vector<RoleId> parents;
+    std::map<std::pair<dtd::TypeId, dtd::TypeId>, Annotation> local;
+    Annotation root;  // kAllow unless AnnotateRoot was called
+    bool root_annotated = false;
+  };
+
+  const Annotation* Local(RoleId r, dtd::TypeId a, dtd::TypeId b) const;
+
+  dtd::Dtd source_dtd_;
+  std::vector<Role> roles_;
+  std::map<std::string, RoleId, std::less<>> by_name_;
+};
+
+}  // namespace smoqe::policy
+
+#endif  // SMOQE_POLICY_POLICY_H_

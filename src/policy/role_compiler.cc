@@ -1,0 +1,162 @@
+#include "policy/role_compiler.h"
+
+#include <utility>
+#include <vector>
+
+#include "xpath/ast.h"
+
+namespace smoqe::policy {
+
+namespace {
+
+// One surviving child occurrence of a view production, pre-collapse.
+struct VisibleChild {
+  dtd::TypeId type;
+  bool starred;
+  Annotation ann;
+};
+
+// Applies the collapse rule: repeated types merge into one starred spec,
+// order of first occurrence. `force_star` stars every survivor (used when a
+// disjunction lost branches).
+std::vector<dtd::ChildSpec> Collapse(std::vector<VisibleChild>* children,
+                                     bool force_star) {
+  std::vector<dtd::ChildSpec> out;
+  for (const VisibleChild& c : *children) {
+    bool merged = false;
+    for (dtd::ChildSpec& spec : out) {
+      if (spec.type == c.type) {
+        spec.starred = true;  // repeated type: collapse to starred
+        merged = true;
+        break;
+      }
+    }
+    if (merged) continue;
+    bool star = force_star || c.starred || c.ann.kind == AccessKind::kCond;
+    out.push_back({c.type, star});
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<CompiledRole> CompileRole(const Policy& policy, RoleId role) {
+  if (role < 0 || role >= policy.num_roles()) {
+    return Status::InvalidArgument("unknown role id " + std::to_string(role));
+  }
+  SMOQE_RETURN_IF_ERROR(policy.Validate());
+
+  CompiledRole out;
+  out.role = role;
+  if (!policy.RootVisible(role)) {
+    out.root_hidden = true;
+    return out;
+  }
+
+  const dtd::Dtd& src = policy.source_dtd();
+
+  // Visible region: BFS from the root over non-denied edges. Deny is final
+  // (see policy.h), so a type is visible iff some all-visible path from the
+  // root reaches it.
+  std::vector<char> visible(src.num_types(), 0);
+  std::vector<dtd::TypeId> frontier = {src.root()};
+  visible[src.root()] = 1;
+  while (!frontier.empty()) {
+    dtd::TypeId a = frontier.back();
+    frontier.pop_back();
+    for (dtd::TypeId b : src.ChildTypes(a)) {
+      if (visible[b]) continue;
+      if (policy.Effective(role, a, b).kind == AccessKind::kDeny) continue;
+      visible[b] = 1;
+      frontier.push_back(b);
+    }
+  }
+
+  // The view DTD reuses the source type names; declaring every visible type
+  // up front (in source-id order) keeps the mapping trivial.
+  dtd::Dtd view_dtd;
+  std::vector<dtd::TypeId> view_id(src.num_types(), dtd::kNoType);
+  for (dtd::TypeId t = 0; t < src.num_types(); ++t) {
+    if (visible[t]) {
+      view_id[t] = view_dtd.DeclareType(src.type_name(t));
+      ++out.visible_types;
+    }
+  }
+  view_dtd.SetRoot(view_id[src.root()]);
+
+  // Per visible type: the restricted production, collecting the edge
+  // annotations the sigma pass below will attach.
+  struct Edge {
+    dtd::TypeId a, b;  // source ids
+    Annotation ann;
+  };
+  std::vector<Edge> edges;
+  for (dtd::TypeId a = 0; a < src.num_types(); ++a) {
+    if (!visible[a]) continue;
+    const dtd::Production& prod = src.production(a);
+    dtd::Production view_prod;
+    switch (prod.kind) {
+      case dtd::ContentKind::kText:
+      case dtd::ContentKind::kEmpty:
+        view_prod.kind = prod.kind;
+        break;
+      case dtd::ContentKind::kSequence:
+      case dtd::ContentKind::kChoice: {
+        std::vector<VisibleChild> survivors;
+        std::vector<dtd::TypeId> seen_types;
+        for (const dtd::ChildSpec& spec : prod.children) {
+          Annotation ann = policy.Effective(role, a, spec.type);
+          if (ann.kind == AccessKind::kDeny) continue;
+          survivors.push_back({spec.type, spec.starred, ann});
+          bool seen = false;
+          for (dtd::TypeId t : seen_types) seen |= t == spec.type;
+          if (!seen) {
+            seen_types.push_back(spec.type);
+            edges.push_back({a, spec.type, std::move(ann)});
+          }
+        }
+        const bool lost_branch =
+            prod.kind == dtd::ContentKind::kChoice &&
+            survivors.size() < prod.children.size();
+        std::vector<dtd::ChildSpec> specs = Collapse(&survivors, lost_branch);
+        for (dtd::ChildSpec& s : specs) s.type = view_id[s.type];
+        if (specs.empty()) {
+          view_prod.kind = dtd::ContentKind::kEmpty;
+        } else if (prod.kind == dtd::ContentKind::kChoice &&
+                   specs.size() >= 2) {
+          view_prod.kind = dtd::ContentKind::kChoice;
+          view_prod.children = std::move(specs);
+        } else {
+          // Sequences, and disjunctions reduced to a single branch.
+          view_prod.kind = dtd::ContentKind::kSequence;
+          view_prod.children = std::move(specs);
+        }
+        break;
+      }
+    }
+    Status set = view_dtd.SetProduction(view_id[a], std::move(view_prod));
+    if (!set.ok()) {
+      return Status::Internal("role '" + policy.role_name(role) +
+                              "': " + set.message());
+    }
+  }
+
+  auto view = std::make_shared<view::ViewDef>(src, std::move(view_dtd));
+  for (const Edge& e : edges) {
+    xpath::PathPtr q = xpath::Label(src.type_name(e.b));
+    if (e.ann.kind == AccessKind::kCond) {
+      q = xpath::WithFilter(std::move(q), e.ann.cond);
+    }
+    Status set = view->SetAnnotation(src.type_name(e.a), src.type_name(e.b),
+                                     std::move(q));
+    if (!set.ok()) {
+      return Status::Internal("role '" + policy.role_name(role) +
+                              "': " + set.message());
+    }
+  }
+  SMOQE_RETURN_IF_ERROR(view->Validate());
+  out.view = std::move(view);
+  return out;
+}
+
+}  // namespace smoqe::policy

@@ -1,0 +1,55 @@
+// Compiles one role of a Policy into a servable view::ViewDef -- the
+// Mahfoud-Imine move of precomputing the view (automaton) per policy, done
+// once per role and cached by policy::RoleCatalog.
+//
+// The derived view DTD is the source DTD restricted to the role's VISIBLE
+// region: the types reachable from the root through edges whose effective
+// annotation is not deny. Productions are rewritten per these rules:
+//
+//  * text/empty productions copy through;
+//  * denied children are dropped from sequences; denied branches from
+//    disjunctions (a disjunction left with one branch becomes a sequence,
+//    one left with none becomes epsilon);
+//  * a child whose annotation is CONDITIONAL becomes starred (zero matches
+//    must be a legal view instance), as does every surviving branch of a
+//    disjunction that lost a branch (the source instance may have chosen
+//    the hidden one);
+//  * a child type occurring several times in one production collapses into
+//    a single starred occurrence (annotations are per (A, B) edge, so the
+//    occurrences are indistinguishable to the policy).
+//
+// Each surviving view edge (A, B) is annotated sigma(A, B) = `B` for allow
+// or `B[q]` for cond q -- the child step filtered by the policy qualifier --
+// so view::Materialize(compiled.view, T) IS sigma_R(T), and the standard
+// rewriting pipeline (rewrite::RewriteToMfa, rewrite::RewriteCache in view
+// mode) serves the role without materializing anything. A role whose root
+// is denied compiles to `root_hidden`: no view exists and every query must
+// answer empty (the serving layer short-circuits it).
+
+#ifndef SMOQE_POLICY_ROLE_COMPILER_H_
+#define SMOQE_POLICY_ROLE_COMPILER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "policy/policy.h"
+#include "view/view_def.h"
+
+namespace smoqe::policy {
+
+struct CompiledRole {
+  RoleId role = kNoRole;
+  /// True: the role sees nothing; `view` is null and every query over the
+  /// role answers the empty node set.
+  bool root_hidden = false;
+  /// The role's security view sigma_R (validated), null iff root_hidden.
+  std::shared_ptr<const view::ViewDef> view;
+  /// Types of the source DTD visible to the role (diagnostics / bench).
+  int visible_types = 0;
+};
+
+StatusOr<CompiledRole> CompileRole(const Policy& policy, RoleId role);
+
+}  // namespace smoqe::policy
+
+#endif  // SMOQE_POLICY_ROLE_COMPILER_H_
