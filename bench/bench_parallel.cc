@@ -302,7 +302,7 @@ int WriteJsonSmoke(const std::string& path) {
                  "\"cache_misses\": %lld, \"coalesced\": %lld, "
                  "\"evaluator_reuses\": %lld, "
                  "\"queries_timed_out\": %lld, \"queries_shed\": %lld, "
-                 "\"queries_cancelled\": %lld}",
+                 "\"queries_cancelled\": %lld, \"queries_retried\": %lld}",
                  first ? "" : ",\n", clients,
                  clients * kQueriesPerClient / secs,
                  static_cast<long long>(st.batches),
@@ -314,12 +314,13 @@ int WriteJsonSmoke(const std::string& path) {
                  static_cast<long long>(st.evaluator_reuses),
                  static_cast<long long>(st.queries_timed_out),
                  static_cast<long long>(st.queries_shed),
-                 static_cast<long long>(st.queries_cancelled));
+                 static_cast<long long>(st.queries_cancelled),
+                 static_cast<long long>(st.queries_retried));
     std::printf(
         "service clients=%d: %lld batches (%lld full, %lld aged), "
         "rewrite cache %lld hits / %lld misses, %lld coalesced, "
         "%lld evaluator reuses, %lld timed out / %lld shed / "
-        "%lld cancelled\n",
+        "%lld cancelled / %lld retried\n",
         clients, static_cast<long long>(st.batches),
         static_cast<long long>(st.batches_full),
         static_cast<long long>(st.batches_aged),
@@ -329,7 +330,8 @@ int WriteJsonSmoke(const std::string& path) {
         static_cast<long long>(st.evaluator_reuses),
         static_cast<long long>(st.queries_timed_out),
         static_cast<long long>(st.queries_shed),
-        static_cast<long long>(st.queries_cancelled));
+        static_cast<long long>(st.queries_cancelled),
+        static_cast<long long>(st.queries_retried));
     first = false;
   }
   std::fprintf(out, "\n  ]\n}\n");

@@ -7,7 +7,7 @@ dropped by more than --tolerance (default 25%), or when a gated COUNTER grew
 (counters gate work done, not wall time: they are deterministic, so the
 tolerance is zero by default).
 
-Understands all six smoke formats:
+Understands all seven smoke formats:
   * BENCH_throughput.json: {"results": [{"batch", "indexed",
     "per_query_qps", "batched_qps", ...}]} -- gates batched_qps and
     per_query_qps per (batch, indexed) configuration;
@@ -34,7 +34,14 @@ Understands all six smoke formats:
     materialize qps per role count plus the warm-role interning counter
     (zero: a warm role partition must reuse its planes) and the
     deterministic eviction count (the >= 5x warm-vs-materialize bar itself
-    is enforced inside bench_authz, after its bit-identity gate).
+    is enforced inside bench_authz, after its bit-identity gate);
+  * BENCH_recovery.json: {"recovery": {"recoveries_per_sec",
+    "reparses_per_sec", "inmemory_mixed_qps", "durable_mixed_qps",
+    "counters": {...}}} -- gates the cold-start and mixed-throughput rates
+    plus the durability failure counters (wal_rollbacks,
+    compactions_failed, recovery_bytes_truncated: a healthy smoke run must
+    keep all three at zero; the >= 0.5x durable-vs-in-memory bar itself is
+    enforced inside bench_recovery, after its recovery bit-identity gate).
 
 A metric present in the PR artifact but absent from the baseline (a newly
 added bench or sweep point) passes with a [new] notice -- it becomes gated
@@ -86,6 +93,11 @@ def extract_metrics(data):
         for key in ("warm_qps", "materialize_qps"):
             if key in row:
                 metrics[f"authz/roles={row['roles']}/{key}"] = row[key]
+    recovery = data.get("recovery", {})  # BENCH_recovery.json
+    for key in ("recoveries_per_sec", "reparses_per_sec",
+                "inmemory_mixed_qps", "durable_mixed_qps"):
+        if key in recovery:
+            metrics[f"recovery/{key}"] = recovery[key]
     return metrics
 
 
@@ -106,7 +118,8 @@ def extract_counters(data):
         # timed-out/shed/cancelled query is the overload machinery
         # misfiring; zero tolerance. Absent in pre-PR-7 baselines, which
         # extraction tolerates automatically (iteration is baseline-driven).
-        for key in ("queries_timed_out", "queries_shed", "queries_cancelled"):
+        for key in ("queries_timed_out", "queries_shed", "queries_cancelled",
+                    "queries_retried"):
             if key in row:
                 counters[f"parallel/service/clients={row['clients']}/{key}"] \
                     = row[key]
@@ -114,6 +127,8 @@ def extract_counters(data):
         counters[f"mutation/{name}"] = value  # BENCH_mutation.json
     for name, value in data.get("authz", {}).get("counters", {}).items():
         counters[f"authz/{name}"] = value  # BENCH_authz.json
+    for name, value in data.get("recovery", {}).get("counters", {}).items():
+        counters[f"recovery/{name}"] = value  # BENCH_recovery.json
     return counters
 
 
@@ -183,7 +198,8 @@ def self_test():
         "parallel": {"solo_qps": 10.0,
                      "sharded": [{"threads": 4, "qps": 40.0}],
                      "service": [{"clients": 8, "qps": 80.0,
-                                  "queries_shed": 0}]},
+                                  "queries_shed": 0,
+                                  "queries_retried": 0}]},
         "docplane": {"workloads": [
             {"name": "sparse", "batch_full_qps": 1.0, "batch_jump_qps": 2.0,
              "sharded_baseline_qps": 3.0, "sharded_jump_qps": 4.0,
@@ -203,11 +219,18 @@ def self_test():
                        "materialize_qps": 40.0}],
             "counters": {"configs_interned_warm_role": 0,
                          "planes_evicted": 8}}},
+        "recovery": {"recovery": {
+            "recoveries_per_sec": 600.0, "reparses_per_sec": 400.0,
+            "inmemory_mixed_qps": 2000.0, "durable_mixed_qps": 1700.0,
+            "counters": {"wal_rollbacks": 0, "compactions_failed": 0,
+                         "recovery_bytes_truncated": 0}}},
     }
     expected_metrics = {"throughput": 2, "parallel": 3, "docplane": 4,
-                        "rewrite": 4, "mutation": 4, "authz": 4}
-    expected_counters = {"throughput": 0, "parallel": 1, "docplane": 2,
-                         "rewrite": 1, "mutation": 1, "authz": 2}
+                        "rewrite": 4, "mutation": 4, "authz": 4,
+                        "recovery": 4}
+    expected_counters = {"throughput": 0, "parallel": 2, "docplane": 2,
+                         "rewrite": 1, "mutation": 1, "authz": 2,
+                         "recovery": 3}
     checks = 0
 
     def check(ok, what):

@@ -1,0 +1,123 @@
+// Little-endian binary encode/decode helpers shared by the on-disk formats:
+// TreeDelta's wire form (xml/tree_delta.h) and the storage layer's snapshot,
+// WAL, and manifest files (src/storage/).
+//
+// Writers append fixed-width integers and length-prefixed byte strings to a
+// std::string. Readers go through a bounds-checked Cursor: every Read*
+// validates against the remaining input and fails sticky instead of running
+// past the end, so decoders built on it are memory-safe on ANY input --
+// truncated, bit-flipped, or adversarial. (The corruption-fuzz suites rely
+// on exactly that: corrupt bytes must surface as a Status, never as UB.)
+
+#ifndef SMOQE_COMMON_CODEC_H_
+#define SMOQE_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace smoqe::common {
+
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffULL));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+inline void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+/// Length-prefixed (u32) byte string.
+inline void PutBytes(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked sequential reader. Any out-of-range read fails the cursor
+/// permanently (ok() goes false) and leaves the output untouched; callers
+/// check ok() once per decoded unit instead of per field.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit Cursor(std::string_view s) : Cursor(s.data(), s.size()) {}
+
+  bool ok() const { return !failed_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  bool ReadU8(uint8_t* v) {
+    if (failed_ || remaining() < 1) return Fail();
+    *v = static_cast<uint8_t>(*p_++);
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (failed_ || remaining() < 4) return Fail();
+    const auto* b = reinterpret_cast<const unsigned char*>(p_);
+    const uint32_t r = static_cast<uint32_t>(b[0]) |
+                       (static_cast<uint32_t>(b[1]) << 8) |
+                       (static_cast<uint32_t>(b[2]) << 16) |
+                       (static_cast<uint32_t>(b[3]) << 24);
+    p_ += 4;
+    *v = r;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    uint32_t lo = 0, hi = 0;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+
+  bool ReadI32(int32_t* v) {
+    uint32_t u = 0;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+
+  /// Length-prefixed byte string; the length is validated against the
+  /// remaining input BEFORE allocating, so a corrupt length cannot trigger
+  /// a huge allocation.
+  bool ReadBytes(std::string* out) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (remaining() < len) return Fail();
+    out->assign(p_, len);
+    p_ += len;
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (failed_ || remaining() < n) return Fail();
+    p_ += n;
+    return true;
+  }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool failed_ = false;
+};
+
+}  // namespace smoqe::common
+
+#endif  // SMOQE_COMMON_CODEC_H_

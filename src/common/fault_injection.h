@@ -35,6 +35,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string_view>
 
 #include "common/status.h"
 
@@ -49,6 +50,11 @@ enum class FaultSite : int {
   kServiceAdmit,     // QueryService::Submit admission decision
   kServiceDispatch,  // dispatcher thread, start of batch collection (delay:
                      // widens the spurious-wakeup window of the wait loop)
+  kWalAppend,        // storage::WalWriter::Append, before the record write
+                     // (torn-write capable: a prefix of the record persists)
+  kWalFsync,         // storage::WalWriter::Sync, before the fsync
+  kSnapshotWrite,    // snapshot temp-file write (torn-write capable)
+  kSnapshotRename,   // snapshot/manifest atomic rename, before the rename
   kNumSites,
 };
 
@@ -58,6 +64,8 @@ enum class FaultKind : int {
   kAllocFailure,    // injects Status::ResourceExhausted (simulated bad_alloc
                     // at a boundary that must stay exception-free)
   kDelay,           // sleeps `delay`, then proceeds (kOk)
+  kTornWrite,       // write sites only: persist a deterministic prefix of
+                    // the pending write, then fail (simulated crash mid-write)
 };
 
 struct FaultPlan {
@@ -65,6 +73,11 @@ struct FaultPlan {
   // Fire on hits where Mix(seed, site, hit#) % one_in == 0; 1 = every hit.
   uint32_t one_in = 1;
   std::chrono::microseconds delay{0};
+  // Deterministic window (used by SMOQE_FAULT_PLAN env specs and kill-point
+  // tests): when window_count > 0 the site fires on exactly the hits in
+  // [window_first, window_first + window_count), ignoring one_in.
+  uint32_t window_first = 0;
+  uint32_t window_count = 0;
 };
 
 class FaultInjector {
@@ -85,9 +98,33 @@ class FaultInjector {
 
   void SetPlan(FaultSite site, FaultPlan plan);
 
+  /// Parses a `SMOQE_FAULT_PLAN`-style spec -- comma-separated
+  /// `site:first_hit:count` entries, e.g. `"wal_append:3:1,wal_fsync:0:2"`
+  /// -- and installs a kTransientError plan with that deterministic window
+  /// per named site. Call between Arm() and the workload (plans are written
+  /// only while quiescent). Site names are the enumerators in snake_case
+  /// without the `k` (`shard_unit`, `epoch_apply`, `plane_intern`,
+  /// `service_admit`, `service_dispatch`, `wal_append`, `wal_fsync`,
+  /// `snapshot_write`, `snapshot_rename`); an optional fourth field names
+  /// the kind (`error`, `alloc`, `torn`). Malformed specs reject the whole
+  /// string and install nothing.
+  Status SetPlansFromSpec(std::string_view spec);
+
+  /// SetPlansFromSpec over the SMOQE_FAULT_PLAN environment variable; a
+  /// no-op Status::OK() when the variable is unset or empty. Lets CI chaos
+  /// jobs vary scenarios per run without recompiling.
+  Status SetPlansFromEnv();
+
   /// Called by a compiled-in site. Returns the injected Status (kOk when the
-  /// site is unplanned or this hit does not fire). kDelay sleeps here.
+  /// site is unplanned or this hit does not fire). kDelay sleeps here;
+  /// kTornWrite surfaces as a plain Unavailable (write sites use HitWrite).
   Status Hit(FaultSite site);
+
+  /// Write-site variant: like Hit, but a firing kTornWrite plan sets
+  /// *keep_prefix to a deterministic prefix length in [0, len) that the
+  /// caller must persist before failing; every other outcome leaves
+  /// *keep_prefix = 0.
+  Status HitWrite(FaultSite site, size_t len, size_t* keep_prefix);
 
   /// Counters for test assertions: total traversals of the site / faults fired.
   int64_t hits(FaultSite site) const;
@@ -107,6 +144,22 @@ class FaultInjector {
   uint64_t seed_ = 0;
   Site sites_[static_cast<int>(FaultSite::kNumSites)];
 };
+
+/// Armed-checked wrapper for write sites (the storage layer calls this
+/// instead of a macro because it needs the prefix length as a value). When
+/// injection is compiled out or disarmed this is a single branch.
+inline Status FaultHitWrite(FaultSite site, size_t len, size_t* keep_prefix) {
+  *keep_prefix = 0;
+#ifdef SMOQE_FAULT_INJECTION
+  if (FaultInjector::armed()) {
+    return FaultInjector::Global().HitWrite(site, len, keep_prefix);
+  }
+#else
+  (void)site;
+  (void)len;
+#endif
+  return Status::OK();
+}
 
 }  // namespace smoqe
 

@@ -1,6 +1,7 @@
 #include "exec/query_service.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -45,16 +46,52 @@ QueryServiceOptions Validated(QueryServiceOptions options) {
 }  // namespace
 
 QueryService::QueryService(const xml::Tree& tree, QueryServiceOptions options)
-    : tree_(tree),
-      options_(Validated(options)),
-      plane_owned_(options_.plane == nullptr ? xml::DocPlane::Build(tree)
-                                             : xml::DocPlane{}),
-      plane_(options_.plane == nullptr ? &plane_owned_ : options_.plane),
-      plane_store_(tree, options_.index,
-                   {.capacity = options_.cache_capacity}),
+    : QueryService(&tree, nullptr, std::move(options)) {}
+
+QueryService::QueryService(const xml::Tree* tree,
+                           std::unique_ptr<storage::DurableEpochStore> store,
+                           QueryServiceOptions options)
+    : options_(Validated(std::move(options))),
+      store_(std::move(store)),
+      epoch_(store_ != nullptr ? store_->Snapshot() : xml::PlaneEpoch{}),
+      tree_(store_ != nullptr ? epoch_.tree.get() : tree),
+      plane_owned_(store_ == nullptr && options_.plane == nullptr
+                       ? xml::DocPlane::Build(*tree_)
+                       : xml::DocPlane{}),
+      plane_(store_ != nullptr
+                 ? epoch_.plane.get()
+                 : (options_.plane == nullptr ? &plane_owned_
+                                              : options_.plane)),
+      plane_store_(std::make_unique<hype::TransitionPlaneStore>(
+          *tree_, options_.index,
+          hype::TransitionPlaneStore::Options{
+              .capacity = options_.cache_capacity})),
       pool_(options_.num_threads),
       cache_(options_.view, {.capacity = options_.cache_capacity}),
       dispatcher_([this] { DispatcherLoop(); }) {}
+
+StatusOr<std::unique_ptr<QueryService>> QueryService::Open(
+    xml::Tree initial, QueryServiceOptions options) {
+  if (options.storage_dir.empty()) {
+    return Status::InvalidArgument(
+        "QueryService::Open requires options.storage_dir");
+  }
+  if (options.index != nullptr || options.catalog != nullptr ||
+      options.plane != nullptr) {
+    // All three reference an externally owned tree; a durable service owns
+    // (and on recovery REPLACES) its document, so they cannot match it.
+    return Status::InvalidArgument(
+        "a durable service owns its document: index/catalog/plane options "
+        "are incompatible with storage_dir");
+  }
+  storage::StorageOptions storage_options;
+  storage_options.snapshot_every = options.snapshot_every;
+  auto store = storage::DurableEpochStore::Open(
+      options.storage_dir, storage_options, std::move(initial));
+  if (!store.ok()) return store.status();
+  return std::unique_ptr<QueryService>(new QueryService(
+      nullptr, std::move(store.value()), std::move(options)));
+}
 
 QueryService::~QueryService() { Shutdown(); }
 
@@ -79,6 +116,8 @@ std::future<QueryService::Answer> QueryService::Submit(
   p.deadline = submit_options.deadline;
   p.cancel = submit_options.cancel;
   p.role = submit_options.role;
+  p.max_retries = submit_options.max_retries < 0 ? 0
+                                                 : submit_options.max_retries;
   std::future<Answer> result = p.promise.get_future();
   // Injected admission failure (chaos suite): resolves the future before the
   // query ever reaches the queue, like a real overload shed would.
@@ -131,6 +170,47 @@ QueryService::Answer QueryService::Query(std::string query_text) {
   return Submit(std::move(query_text)).get();
 }
 
+Status QueryService::Apply(xml::TreeDelta delta) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Apply on an in-memory service (construct with QueryService::Open)");
+  }
+  PendingWrite w;
+  w.delta = std::move(delta);
+  std::future<Status> result = w.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return Status::FailedPrecondition("query service is shutting down");
+    }
+    writes_.push_back(std::move(w));
+    cv_.notify_all();
+  }
+  return result.get();
+}
+
+uint64_t QueryService::document_version() const {
+  return store_ != nullptr ? store_->version() : 0;
+}
+
+Status QueryService::ApplyWrite(const xml::TreeDelta& delta) {
+  Status s = store_->Apply(delta);
+  if (!s.ok()) return s;
+  // Swap serving to the just-published epoch. Everything whose universe was
+  // the old tree goes with it: the evaluator cache (shard engines hold tree
+  // and plane references) and the transition-plane store (interned against
+  // the old tree). The RewriteCache survives -- compiled MFAs are
+  // label-level, document-independent.
+  epoch_ = store_->Snapshot();
+  tree_ = epoch_.tree.get();
+  plane_ = epoch_.plane.get();
+  evaluators_.clear();
+  plane_store_ = std::make_unique<hype::TransitionPlaneStore>(
+      *tree_, options_.index,
+      hype::TransitionPlaneStore::Options{.capacity = options_.cache_capacity});
+  return Status::OK();
+}
+
 QueryServiceStats QueryService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -139,7 +219,20 @@ QueryServiceStats QueryService::stats() const {
 void QueryService::DispatcherLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    cv_.wait(lock,
+             [this] { return stop_ || !pending_.empty() || !writes_.empty(); });
+    // Durable writes drain ahead of query batches: a delta admitted before
+    // a query was admitted publishes before that query evaluates, so
+    // Apply-then-Submit from one client always sees its own write.
+    while (!writes_.empty()) {
+      PendingWrite write = std::move(writes_.front());
+      writes_.pop_front();
+      lock.unlock();
+      Status applied = ApplyWrite(write.delta);
+      lock.lock();
+      if (applied.ok()) ++stats_.writes_applied;
+      write.promise.set_value(std::move(applied));
+    }
     if (pending_.empty()) {
       if (stop_) return;
       continue;
@@ -229,7 +322,7 @@ QueryService::CachedEvaluator& QueryService::EvaluatorFor(
   sharded_options.num_shards = options_.num_shards;
   sharded_options.enable_jump = options_.enable_jump;
   evaluators_.push_back(std::make_unique<CachedEvaluator>(
-      tree_, std::move(sorted_mfas), sharded_options));
+      *tree_, std::move(sorted_mfas), sharded_options));
   evaluators_.back()->last_used = evaluator_clock_;
   evaluators_.back()->store = store;
   evaluators_.back()->pin = std::move(pin);
@@ -244,10 +337,13 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
   // client whose future has resolved always finds itself in the counters.
   std::vector<std::pair<size_t, Answer>> resolutions;
   std::vector<char> live(batch.size(), 1);
+  std::vector<int> retries(batch.size(), 0);
   int64_t timed_out = 0;
   int64_t shed = 0;
   int64_t cancelled = 0;
   int64_t failed = 0;
+  int64_t retried = 0;
+  int64_t retries_exhausted = 0;
   auto resolve = [&](size_t i, Answer answer) {
     live[i] = 0;
     resolutions.emplace_back(i, std::move(answer));
@@ -324,7 +420,7 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
       // the MFA to the entry: every evaluator this batch (or a later one)
       // creates for the MFA shares it.
       hype::TransitionPlaneStore& store =
-          entry != nullptr ? entry->planes() : plane_store_;
+          entry != nullptr ? entry->planes() : *plane_store_;
       store.For(mfa.get(), std::move(compiled.value().compiled), mfa);
       mfas.push_back(std::move(mfa));
       waiters.emplace_back();
@@ -374,10 +470,36 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
   int64_t role_groups = 0;
   for (Group& group : groups) {
   hype::TransitionPlaneStore* store =
-      group.entry != nullptr ? &group.entry->planes() : &plane_store_;
+      group.entry != nullptr ? &group.entry->planes() : plane_store_.get();
   if (group.entry != nullptr) ++role_groups;
   bool first_round = true;
+  int backoff_round = 0;
   for (;;) {
+    if (backoff_round > 0) {
+      // A retry round: every survivor of the aborted pass burns one unit of
+      // its SubmitOptions::max_retries budget (kUnavailable past it), and
+      // the group backs off exponentially before re-evaluating -- a stream
+      // of expiring/cancelling siblings can delay a query but can no longer
+      // pin it in the dispatcher unboundedly.
+      for (size_t s : group.slots) {
+        for (size_t i : waiters[s]) {
+          if (!live[i]) continue;
+          ++retries[i];
+          if (retries[i] > batch[i].max_retries) {
+            ++failed;
+            ++retries_exhausted;
+            resolve(i, Status::Unavailable(
+                           "retry budget exhausted after " +
+                           std::to_string(batch[i].max_retries) +
+                           " re-evaluation rounds; safe to resubmit"));
+          } else {
+            ++retried;
+          }
+        }
+      }
+      const int shift = backoff_round < 6 ? backoff_round - 1 : 5;
+      std::this_thread::sleep_for(std::chrono::microseconds(50 << shift));
+    }
     std::vector<size_t> slots;  // group MFA slots with >= 1 live waiter
     for (size_t s : group.slots) {
       for (size_t i : waiters[s]) {
@@ -439,8 +561,8 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
       first_round = false;
     }
     std::vector<std::vector<xml::NodeId>> sorted_answers =
-        control.enabled() ? cached.eval.EvalAll(tree_.root(), control)
-                          : cached.eval.EvalAll(tree_.root());
+        control.enabled() ? cached.eval.EvalAll(tree_->root(), control)
+                          : cached.eval.EvalAll(tree_->root());
     const Status& st = cached.eval.last_status();
 
     if (st.ok()) {
@@ -488,6 +610,7 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
         }
       }
     }
+    if (progressed) ++backoff_round;
     if (!progressed) {
       // Transient shard failure (or, defensively, an abort whose trigger we
       // can no longer attribute): terminal for every remaining member. The
@@ -522,6 +645,8 @@ void QueryService::ProcessBatch(std::vector<Pending> batch) {
     stats_.evaluator_reuses += evaluator_reuses_batch;
     stats_.role_groups += role_groups;
     stats_.role_denied_empty += role_denied_empty;
+    stats_.queries_retried += retried;
+    stats_.retries_exhausted += retries_exhausted;
     stats_.cache = cache_.stats();
   }
 

@@ -46,9 +46,12 @@
 #include "hype/transition_plane.h"
 #include "policy/role_catalog.h"
 #include "rewrite/rewrite_cache.h"
+#include "storage/durable_epoch.h"
 #include "view/view_def.h"
 #include "xml/doc_plane.h"
+#include "xml/plane_epoch.h"
 #include "xml/tree.h"
+#include "xml/tree_delta.h"
 
 namespace smoqe::exec {
 
@@ -110,6 +113,19 @@ struct QueryServiceOptions {
   /// evaluation drivers (see common/cancellation.h); bounds how late an
   /// abort can land.
   int32_t checkpoint_interval = 1024;
+
+  /// Non-empty: the service is DURABLE -- construct it with
+  /// QueryService::Open, which recovers (or initializes) a
+  /// storage::DurableEpochStore in this directory and serves the recovered
+  /// epoch. Apply() then WAL-logs and fsyncs every delta before it
+  /// publishes (storage/wal.h design note). A durable service owns its
+  /// document, so `index`, `catalog`, and `plane` -- references into an
+  /// externally owned tree -- are rejected by Open.
+  std::string storage_dir = {};
+
+  /// Durable mode only: WAL records between snapshot compactions
+  /// (storage::StorageOptions::snapshot_every).
+  int snapshot_every = 64;
 };
 
 /// Per-query submission controls. Default-constructed = the old behavior
@@ -130,6 +146,16 @@ struct SubmitOptions {
   /// role's security view; a role whose root is denied answers the empty
   /// node set (not an error) for every well-formed query.
   policy::RoleId role = policy::kNoRole;
+
+  /// Bound on re-evaluation rounds for THIS query inside the batch's
+  /// min-deadline retry loop: each time a sibling's deadline/cancellation
+  /// aborts the shared pass, the survivors retry (with exponential backoff)
+  /// and burn one retry each. Past the bound the query resolves
+  /// kUnavailable instead of re-evaluating -- a pathological batch mix can
+  /// no longer pin a query in the dispatcher indefinitely. The default
+  /// covers the worst case of a default-sized batch (every sibling aborts
+  /// once); 0 = never retry.
+  int max_retries = 16;
 };
 
 /// Counter snapshot returned by QueryService::stats(): submission/answer
@@ -155,6 +181,13 @@ struct QueryServiceStats {
   int64_t role_queries = 0;       // submissions carrying a role
   int64_t role_groups = 0;        // per-role evaluation groups dispatched
   int64_t role_denied_empty = 0;  // root-hidden roles answered empty
+  // Re-evaluation rounds summed over queries: a query that survives an
+  // aborted shared pass and re-runs counts one per extra round. Zero in
+  // steady state (no deadline/cancel churn inside batches) -- bench_parallel
+  // smoke gates on zero growth.
+  int64_t queries_retried = 0;
+  int64_t retries_exhausted = 0;  // resolved kUnavailable at max_retries
+  int64_t writes_applied = 0;     // durable deltas published via Apply()
   rewrite::RewriteCacheStats cache;
 };
 
@@ -165,6 +198,15 @@ class QueryService {
   /// `tree` (and the view/index, when set) must outlive the service.
   explicit QueryService(const xml::Tree& tree,
                         QueryServiceOptions options = {});
+
+  /// Durable construction (options.storage_dir must be set): opens -- and,
+  /// when the directory holds state, RECOVERS -- a DurableEpochStore there
+  /// and serves its epoch. `initial` seeds a fresh directory as version 0
+  /// and is ignored when state already exists. The service owns the
+  /// recovered document, so options carrying references into an external
+  /// tree (`index`, `catalog`, `plane`) are rejected.
+  static StatusOr<std::unique_ptr<QueryService>> Open(
+      xml::Tree initial, QueryServiceOptions options);
 
   /// Drains and answers everything already submitted, then stops
   /// (delegates to Shutdown()).
@@ -194,6 +236,24 @@ class QueryService {
   /// Submit + wait, for single-shot callers.
   Answer Query(std::string query_text);
 
+  /// Durable write (Open-constructed services only): WAL-append + fsync the
+  /// delta, publish it as the next epoch, and switch serving to the new
+  /// document before returning OK -- queries admitted after Apply returns
+  /// evaluate against the new epoch. Thread-safe; writes are serialized
+  /// through the dispatcher ahead of query batches. kFailedPrecondition for
+  /// stale deltas (delta.from_version() != document_version()), for
+  /// non-durable services, and after a WAL failure wedged the store.
+  Status Apply(xml::TreeDelta delta);
+
+  /// The served document version: 0 for an in-memory service, the durable
+  /// epoch's version otherwise. Thread-safe.
+  uint64_t document_version() const;
+
+  /// The underlying durable store (null for in-memory services) -- stats,
+  /// recovery report, storage dir. The store's Apply must NOT be called
+  /// directly while the service is live; use QueryService::Apply.
+  const storage::DurableEpochStore* storage() const { return store_.get(); }
+
   /// Snapshot of the counters (thread-safe).
   QueryServiceStats stats() const;
 
@@ -207,6 +267,15 @@ class QueryService {
     Deadline deadline;
     CancelToken* cancel = nullptr;
     policy::RoleId role = policy::kNoRole;
+    int max_retries = 16;
+  };
+
+  // A durable write waiting for the dispatcher. The promise resolves with
+  // the store's verdict once the delta is fsync'd and published (or
+  // rejected).
+  struct PendingWrite {
+    xml::TreeDelta delta;
+    std::promise<Status> promise;
   };
 
   // A recently used sharded evaluator, keyed by its (pointer-sorted) MFA
@@ -216,8 +285,18 @@ class QueryService {
   // any RewriteCache eviction. Dispatcher-thread only.
   struct CachedEvaluator;
 
+  // Shared delegating constructor: exactly one of `tree` (borrowed,
+  // in-memory mode) or `store` (owned, durable mode) is non-null.
+  QueryService(const xml::Tree* tree,
+               std::unique_ptr<storage::DurableEpochStore> store,
+               QueryServiceOptions options);
+
   void DispatcherLoop();
   void ProcessBatch(std::vector<Pending> batch);
+  // Dispatcher-thread only: publishes one durable delta and, on success,
+  // swaps serving to the new epoch (tree/plane pointers, fresh plane store,
+  // evaluator cache cleared -- their universes referenced the old tree).
+  Status ApplyWrite(const xml::TreeDelta& delta);
   // `store` selects the plane universe (the service's own, or a role
   // partition's); `pin` keeps a role partition alive while its evaluator
   // is cached (null for service-level evaluators).
@@ -226,15 +305,22 @@ class QueryService {
       hype::TransitionPlaneStore* store,
       std::shared_ptr<policy::RoleCatalog::Entry> pin, bool* reused);
 
-  const xml::Tree& tree_;
   QueryServiceOptions options_;
-  xml::DocPlane plane_owned_;  // empty when options.plane was provided
+  // Durable mode: the store plus the epoch currently served; `epoch_` pins
+  // the tree/plane that `tree_`/`plane_` point into across Apply swaps
+  // (in-flight readers hold their own PlaneEpoch-free shard state only
+  // within ProcessBatch, which the dispatcher serializes against writes).
+  std::unique_ptr<storage::DurableEpochStore> store_;
+  xml::PlaneEpoch epoch_;
+  const xml::Tree* tree_;      // the served document (mode-independent)
+  xml::DocPlane plane_owned_;  // in-memory mode, when no options.plane
   const xml::DocPlane* plane_;
   // One interning universe per compiled query for every evaluator this
   // service ever creates: shard engines share planes within a batch, and
   // successive batches (and evaluator-cache rebuilds) start warm. Planes
-  // are seeded from the RewriteCache's CompiledMfa mirrors.
-  hype::TransitionPlaneStore plane_store_;
+  // are seeded from the RewriteCache's CompiledMfa mirrors. Rebuilt on
+  // every durable epoch swap (planes intern against one tree).
+  std::unique_ptr<hype::TransitionPlaneStore> plane_store_;
   common::ThreadPool pool_;
   rewrite::RewriteCache cache_;  // dispatcher-thread only
   std::vector<std::unique_ptr<CachedEvaluator>> evaluators_;  // LRU, small
@@ -243,6 +329,7 @@ class QueryService {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Pending> pending_;
+  std::deque<PendingWrite> writes_;  // drained ahead of query batches
   QueryServiceStats stats_;
   bool stop_ = false;
   std::once_flag join_once_;  // exactly one Shutdown caller joins

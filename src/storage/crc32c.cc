@@ -1,0 +1,57 @@
+#include "storage/crc32c.h"
+
+namespace smoqe::storage {
+
+namespace {
+
+// 8 slice tables for the Castagnoli polynomial (reflected 0x82F63B78),
+// computed once at first use.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[s][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables* t = new Tables();
+  return *t;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const Tables& tb = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 8) {
+    const uint32_t low = crc ^ (static_cast<uint32_t>(p[0]) |
+                                (static_cast<uint32_t>(p[1]) << 8) |
+                                (static_cast<uint32_t>(p[2]) << 16) |
+                                (static_cast<uint32_t>(p[3]) << 24));
+    crc = tb.t[7][low & 0xff] ^ tb.t[6][(low >> 8) & 0xff] ^
+          tb.t[5][(low >> 16) & 0xff] ^ tb.t[4][low >> 24] ^
+          tb.t[3][p[4]] ^ tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace smoqe::storage

@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli) checksums for the on-disk formats: snapshot files,
+// WAL records, and the manifest all carry one. Software table
+// implementation (slice-by-8), no hardware intrinsics -- portability over
+// the last 2x, and the storage layer checksums kilobytes per write, not
+// gigabytes.
+
+#ifndef SMOQE_STORAGE_CRC32C_H_
+#define SMOQE_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace smoqe::storage {
+
+/// Extends a running CRC32C with `n` more bytes. Start from 0.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32cExtend(0, s.data(), s.size());
+}
+
+}  // namespace smoqe::storage
+
+#endif  // SMOQE_STORAGE_CRC32C_H_

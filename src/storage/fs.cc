@@ -1,0 +1,135 @@
+#include "storage/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace smoqe::storage {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Unavailable(what + " " + path + ": " +
+                             std::strerror(errno));
+}
+
+// Full write loop (handles short writes / EINTR).
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (r == 0) break;
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       std::string_view contents, FaultSite write_site,
+                       FaultSite rename_site) {
+  const std::string tmp = dir + "/" + name + ".tmp";
+  const std::string final_path = dir + "/" + name;
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Errno("open", tmp);
+
+  size_t keep = 0;
+  Status injected =
+      write_site == FaultSite::kNumSites
+          ? Status::OK()
+          : FaultHitWrite(write_site, contents.size(), &keep);
+  if (!injected.ok()) {
+    // Simulated crash mid-write: persist exactly the injected prefix of the
+    // temp file, then fail without renaming. The target file is untouched;
+    // recovery ignores (and fsck reports) orphaned temp files.
+    (void)WriteAll(fd, contents.data(), keep, tmp);
+    ::close(fd);
+    return injected;
+  }
+  Status s = WriteAll(fd, contents.data(), contents.size(), tmp);
+  if (s.ok() && ::fsync(fd) != 0) s = Errno("fsync", tmp);
+  ::close(fd);
+  if (!s.ok()) return s;
+
+  if (rename_site != FaultSite::kNumSites) {
+    SMOQE_FAULT_RETURN_IF_INJECTED(rename_site);
+  }
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Errno("rename", final_path);
+  }
+  return SyncDir(dir);
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir", dir);
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) s = Errno("fsync dir", dir);
+  ::close(fd);
+  return s;
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Errno("mkdir", dir);
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    names.emplace_back(e->d_name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return Errno("unlink", path);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace smoqe::storage

@@ -1,0 +1,49 @@
+// Small POSIX file helpers for the storage layer. Everything returns
+// Status/StatusOr (the library is exception-free) and every durable write
+// goes through the temp-file + fsync + atomic-rename + directory-fsync
+// discipline in WriteFileAtomic.
+
+#ifndef SMOQE_STORAGE_FS_H_
+#define SMOQE_STORAGE_FS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/status.h"
+
+namespace smoqe::storage {
+
+/// Reads a whole file. kNotFound when it does not exist.
+StatusOr<std::string> ReadFile(const std::string& path);
+
+/// Writes `contents` to `dir/name` atomically: temp file in the same
+/// directory, full write, fsync, rename over the target, directory fsync.
+/// A crash at any point leaves either the old file or the new file, never a
+/// mix. `write_site`/`rename_site` are consulted for injected failures
+/// (torn-write aware: an injected tear persists a prefix of the temp file,
+/// which the rename then never commits); pass FaultSite::kNumSites to run
+/// a site uninstrumented.
+Status WriteFileAtomic(const std::string& dir, const std::string& name,
+                       std::string_view contents,
+                       FaultSite write_site = FaultSite::kNumSites,
+                       FaultSite rename_site = FaultSite::kNumSites);
+
+/// fsyncs a directory (publishes renames/creates within it).
+Status SyncDir(const std::string& dir);
+
+/// Creates `dir` if missing (one level).
+Status EnsureDir(const std::string& dir);
+
+/// Names of regular files directly under `dir` (no recursion, no dotfiles).
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Deletes a file if present; missing is OK.
+Status RemoveFile(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+}  // namespace smoqe::storage
+
+#endif  // SMOQE_STORAGE_FS_H_

@@ -1,0 +1,364 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/codec.h"
+#include "common/fault_injection.h"
+#include "storage/crc32c.h"
+#include "storage/fs.h"
+
+namespace smoqe::xml {
+
+// Friend of Tree (see tree.h): encodes/decodes the RAW arena so a recovered
+// tree is id-for-id identical to the one the WAL's deltas address --
+// tombstoned slots, end-of-arena insert ids and all.
+struct TreeCodec {
+  static void Encode(const Tree& tree, std::string* out) {
+    common::PutU32(out, static_cast<uint32_t>(tree.labels_.size()));
+    for (int i = 0; i < tree.labels_.size(); ++i) {
+      common::PutBytes(out, tree.labels_.name(i));
+    }
+    common::PutU32(out, static_cast<uint32_t>(tree.nodes_.size()));
+    for (const Node& n : tree.nodes_) {
+      common::PutU8(out, static_cast<uint8_t>(n.kind));
+      common::PutI32(out, n.label);
+      common::PutI32(out, n.text);
+      common::PutI32(out, n.parent);
+      common::PutI32(out, n.first_child);
+      common::PutI32(out, n.last_child);
+      common::PutI32(out, n.next_sibling);
+      common::PutI32(out, n.child_index);
+    }
+    common::PutU32(out, static_cast<uint32_t>(tree.texts_.size()));
+    for (const std::string& t : tree.texts_) common::PutBytes(out, t);
+    common::PutI32(out, tree.root_);
+    common::PutI32(out, tree.num_elements_);
+    common::PutI32(out, tree.num_detached_);
+  }
+
+  static Status Decode(common::Cursor* cur, Tree* tree) {
+    uint32_t label_count = 0;
+    if (!cur->ReadU32(&label_count) ||
+        label_count > cur->remaining() / 4) {  // each label >= 4 bytes
+      return Status::ParseError("snapshot: bad label table");
+    }
+    for (uint32_t i = 0; i < label_count; ++i) {
+      std::string name;
+      if (!cur->ReadBytes(&name)) {
+        return Status::ParseError("snapshot: truncated label");
+      }
+      // Interning in order reproduces the original ids 0..n-1; a duplicate
+      // name would silently alias two ids, so reject it.
+      if (tree->labels_.Intern(name) != static_cast<LabelId>(i)) {
+        return Status::ParseError("snapshot: duplicate label");
+      }
+    }
+    uint32_t node_count = 0;
+    if (!cur->ReadU32(&node_count) ||
+        node_count > cur->remaining() / 29) {  // 29 bytes per node
+      return Status::ParseError("snapshot: bad node count");
+    }
+    const auto nc = static_cast<int32_t>(node_count);
+    tree->nodes_.reserve(node_count);
+    for (uint32_t i = 0; i < node_count; ++i) {
+      Node n;
+      uint8_t kind = 0;
+      if (!cur->ReadU8(&kind) || !cur->ReadI32(&n.label) ||
+          !cur->ReadI32(&n.text) || !cur->ReadI32(&n.parent) ||
+          !cur->ReadI32(&n.first_child) || !cur->ReadI32(&n.last_child) ||
+          !cur->ReadI32(&n.next_sibling) || !cur->ReadI32(&n.child_index)) {
+        return Status::ParseError("snapshot: truncated node");
+      }
+      if (kind > static_cast<uint8_t>(NodeKind::kText) ||
+          n.label < kNoLabel ||
+          n.label >= static_cast<LabelId>(label_count) || n.parent < -1 ||
+          n.parent >= nc || n.first_child < -1 || n.first_child >= nc ||
+          n.last_child < -1 || n.last_child >= nc || n.next_sibling < -1 ||
+          n.next_sibling >= nc) {
+        return Status::ParseError("snapshot: node fields out of range");
+      }
+      n.kind = static_cast<NodeKind>(kind);
+      tree->nodes_.push_back(n);
+    }
+    uint32_t text_count = 0;
+    if (!cur->ReadU32(&text_count) || text_count > cur->remaining() / 4) {
+      return Status::ParseError("snapshot: bad text pool");
+    }
+    tree->texts_.reserve(text_count);
+    for (uint32_t i = 0; i < text_count; ++i) {
+      std::string t;
+      if (!cur->ReadBytes(&t)) {
+        return Status::ParseError("snapshot: truncated text");
+      }
+      tree->texts_.push_back(std::move(t));
+    }
+    // Text indices could not be validated until the pool size was known.
+    for (const Node& n : tree->nodes_) {
+      if (n.text < -1 || n.text >= static_cast<int32_t>(text_count)) {
+        return Status::ParseError("snapshot: text index out of range");
+      }
+    }
+    if (!cur->ReadI32(&tree->root_) || !cur->ReadI32(&tree->num_elements_) ||
+        !cur->ReadI32(&tree->num_detached_)) {
+      return Status::ParseError("snapshot: truncated tree trailer");
+    }
+    if (tree->root_ < -1 || tree->root_ >= nc || tree->num_elements_ < 0 ||
+        tree->num_elements_ > nc || tree->num_detached_ < 0 ||
+        tree->num_detached_ > nc) {
+      return Status::ParseError("snapshot: tree trailer out of range");
+    }
+    return Status::OK();
+  }
+};
+
+// Friend of DocPlane (see doc_plane.h): the columns verbatim, so recovery
+// skips the O(N) Build when no WAL replay follows the snapshot.
+struct PlaneCodec {
+  static void PutVec32(std::string* out, const std::vector<int32_t>& v) {
+    common::PutU32(out, static_cast<uint32_t>(v.size()));
+    for (int32_t x : v) common::PutI32(out, x);
+  }
+
+  static bool ReadVec32(common::Cursor* cur, std::vector<int32_t>* v) {
+    uint32_t count = 0;
+    if (!cur->ReadU32(&count) || count > cur->remaining() / 4) return false;
+    v->reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      int32_t x = 0;
+      if (!cur->ReadI32(&x)) return false;
+      v->push_back(x);
+    }
+    return true;
+  }
+
+  static void Encode(const DocPlane& plane, std::string* out) {
+    PutVec32(out, plane.labels_);
+    PutVec32(out, plane.parent_);
+    PutVec32(out, plane.depth_);
+    PutVec32(out, plane.extent_);
+    common::PutU32(out, static_cast<uint32_t>(plane.text_bits_.size()));
+    for (uint64_t w : plane.text_bits_) common::PutU64(out, w);
+    PutVec32(out, plane.node_of_);
+    PutVec32(out, plane.pos_of_);
+    PutVec32(out, plane.posting_pool_);
+    common::PutU32(out, static_cast<uint32_t>(plane.posting_ref_.size()));
+    for (const auto& [offset, count] : plane.posting_ref_) {
+      common::PutI32(out, offset);
+      common::PutI32(out, count);
+    }
+  }
+
+  static Status Decode(common::Cursor* cur, const Tree& tree,
+                       DocPlane* plane) {
+    uint32_t word_count = 0;
+    if (!ReadVec32(cur, &plane->labels_) || !ReadVec32(cur, &plane->parent_) ||
+        !ReadVec32(cur, &plane->depth_) || !ReadVec32(cur, &plane->extent_) ||
+        !cur->ReadU32(&word_count) || word_count > cur->remaining() / 8) {
+      return Status::ParseError("snapshot: truncated plane columns");
+    }
+    plane->text_bits_.reserve(word_count);
+    for (uint32_t i = 0; i < word_count; ++i) {
+      uint64_t w = 0;
+      if (!cur->ReadU64(&w)) {
+        return Status::ParseError("snapshot: truncated text bits");
+      }
+      plane->text_bits_.push_back(w);
+    }
+    uint32_t ref_count = 0;
+    if (!ReadVec32(cur, &plane->node_of_) ||
+        !ReadVec32(cur, &plane->pos_of_) ||
+        !ReadVec32(cur, &plane->posting_pool_) ||
+        !cur->ReadU32(&ref_count) || ref_count > cur->remaining() / 8) {
+      return Status::ParseError("snapshot: truncated plane postings");
+    }
+    plane->posting_ref_.reserve(ref_count);
+    for (uint32_t i = 0; i < ref_count; ++i) {
+      int32_t offset = 0, count = 0;
+      if (!cur->ReadI32(&offset) || !cur->ReadI32(&count)) {
+        return Status::ParseError("snapshot: truncated posting ref");
+      }
+      plane->posting_ref_.emplace_back(offset, count);
+    }
+
+    // Cross-field sanity: every accessor the evaluators use must be in
+    // bounds. The CRC already rules out disk corruption; these checks rule
+    // out a maliciously crafted file doing more than failing to load.
+    const auto n = static_cast<int32_t>(plane->labels_.size());
+    if (n != tree.CountElements() ||
+        plane->parent_.size() != static_cast<size_t>(n) ||
+        plane->depth_.size() != static_cast<size_t>(n) ||
+        plane->extent_.size() != static_cast<size_t>(n) ||
+        plane->node_of_.size() != static_cast<size_t>(n) ||
+        plane->text_bits_.size() !=
+            static_cast<size_t>(n + 63) / 64 ||
+        plane->pos_of_.size() != static_cast<size_t>(tree.size())) {
+      return Status::ParseError("snapshot: plane/tree size mismatch");
+    }
+    for (int32_t pos = 0; pos < n; ++pos) {
+      if (plane->parent_[pos] < -1 || plane->parent_[pos] >= n ||
+          plane->extent_[pos] < 0 || plane->extent_[pos] >= n - pos ||
+          plane->node_of_[pos] < 0 || plane->node_of_[pos] >= tree.size()) {
+        return Status::ParseError("snapshot: plane column out of range");
+      }
+    }
+    for (int32_t p : plane->pos_of_) {
+      if (p < -1 || p >= n) {
+        return Status::ParseError("snapshot: pos_of out of range");
+      }
+    }
+    const auto pool = static_cast<int64_t>(plane->posting_pool_.size());
+    for (const auto& [offset, count] : plane->posting_ref_) {
+      if (offset < 0 || count < 0 ||
+          static_cast<int64_t>(offset) + count > pool) {
+        return Status::ParseError("snapshot: posting ref out of range");
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace smoqe::xml
+
+namespace smoqe::storage {
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x53514d53;  // 'SMQS'
+constexpr uint32_t kManifestMagic = 0x4d514d53;  // 'SMQM'
+constexpr uint64_t kMaxPayload = 1ull << 40;
+
+// Frames a payload as [magic][len u64][payload][crc32c(payload)].
+std::string Frame(uint32_t magic, std::string payload) {
+  std::string out;
+  out.reserve(payload.size() + 16);
+  common::PutU32(&out, magic);
+  common::PutU64(&out, payload.size());
+  const uint32_t crc = Crc32c(payload);
+  out += payload;
+  common::PutU32(&out, crc);
+  return out;
+}
+
+// Verifies framing + CRC; returns the payload view into `bytes`.
+StatusOr<std::string_view> Unframe(uint32_t magic, std::string_view bytes) {
+  common::Cursor cur(bytes);
+  uint32_t got_magic = 0;
+  uint64_t len = 0;
+  if (!cur.ReadU32(&got_magic) || !cur.ReadU64(&len)) {
+    return Status::ParseError("file too short for header");
+  }
+  if (got_magic != magic) return Status::ParseError("bad magic");
+  if (len > kMaxPayload || len + 16 != bytes.size()) {
+    return Status::ParseError("length mismatch");
+  }
+  std::string_view payload = bytes.substr(12, len);
+  common::Cursor tail(bytes.substr(12 + len));
+  uint32_t crc = 0;
+  if (!tail.ReadU32(&crc) || crc != Crc32c(payload)) {
+    return Status::ParseError("checksum mismatch");
+  }
+  return payload;
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t version) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snapshot-%020llu.snap",
+                static_cast<unsigned long long>(version));
+  return buf;
+}
+
+std::string EncodeSnapshotFile(const xml::Tree& tree,
+                               const xml::DocPlane& plane, uint64_t version) {
+  std::string payload;
+  common::PutU64(&payload, version);
+  xml::TreeCodec::Encode(tree, &payload);
+  xml::PlaneCodec::Encode(plane, &payload);
+  return Frame(kSnapshotMagic, std::move(payload));
+}
+
+StatusOr<DecodedSnapshot> DecodeSnapshotFile(std::string_view bytes) {
+  auto payload = Unframe(kSnapshotMagic, bytes);
+  if (!payload.ok()) return payload.status();
+  common::Cursor cur(payload.value());
+  DecodedSnapshot snap;
+  if (!cur.ReadU64(&snap.version)) {
+    return Status::ParseError("snapshot: truncated version");
+  }
+  SMOQE_RETURN_IF_ERROR(xml::TreeCodec::Decode(&cur, &snap.tree));
+  SMOQE_RETURN_IF_ERROR(xml::PlaneCodec::Decode(&cur, snap.tree, &snap.plane));
+  if (cur.remaining() != 0) {
+    return Status::ParseError("snapshot: trailing bytes");
+  }
+  return snap;
+}
+
+Status WriteSnapshot(const std::string& dir, const xml::Tree& tree,
+                     const xml::DocPlane& plane, uint64_t version) {
+  const std::string file = SnapshotFileName(version);
+  SMOQE_RETURN_IF_ERROR(
+      WriteFileAtomic(dir, file, EncodeSnapshotFile(tree, plane, version),
+                      FaultSite::kSnapshotWrite, FaultSite::kSnapshotRename));
+  return WriteManifest(dir, {version, file});
+}
+
+StatusOr<DecodedSnapshot> ReadSnapshotFile(const std::string& path) {
+  auto bytes = ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeSnapshotFile(bytes.value());
+}
+
+Status WriteManifest(const std::string& dir, const Manifest& manifest) {
+  std::string payload;
+  common::PutU64(&payload, manifest.version);
+  common::PutBytes(&payload, manifest.snapshot_file);
+  return WriteFileAtomic(dir, kManifestName,
+                         Frame(kManifestMagic, std::move(payload)),
+                         FaultSite::kSnapshotWrite,
+                         FaultSite::kSnapshotRename);
+}
+
+StatusOr<Manifest> ReadManifest(const std::string& dir) {
+  auto bytes = ReadFile(dir + "/" + kManifestName);
+  if (!bytes.ok()) return bytes.status();
+  auto payload = Unframe(kManifestMagic, bytes.value());
+  if (!payload.ok()) return payload.status();
+  common::Cursor cur(payload.value());
+  Manifest m;
+  if (!cur.ReadU64(&m.version) || !cur.ReadBytes(&m.snapshot_file) ||
+      cur.remaining() != 0) {
+    return Status::ParseError("manifest: malformed payload");
+  }
+  return m;
+}
+
+StatusOr<std::vector<std::pair<uint64_t, std::string>>> ListSnapshots(
+    const std::string& dir) {
+  auto names = ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (const std::string& name : names.value()) {
+    uint64_t version = 0;
+    // Exactly "snapshot-<20 digits>.snap".
+    if (name.size() != 9 + 20 + 5 || name.compare(0, 9, "snapshot-") != 0 ||
+        name.compare(29, 5, ".snap") != 0) {
+      continue;
+    }
+    bool digits = true;
+    for (size_t i = 9; i < 29; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        digits = false;
+        break;
+      }
+      version = version * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    if (digits) out.emplace_back(version, name);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+}  // namespace smoqe::storage

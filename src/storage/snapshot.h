@@ -1,0 +1,81 @@
+// Snapshot store: versioned, checksummed serialization of one epoch --
+// (Tree, DocPlane, version) -- plus the manifest that tracks the newest
+// durable snapshot.
+//
+// File format (snapshot-<version 20 digits>.snap):
+//
+//   [magic u32 'SMQS'] [payload_len u64] [payload] [crc32c(payload) u32]
+//
+// The payload serializes the tree's RAW arena -- labels, every node slot
+// including tombstoned (detached) ones, the text pool, root, counters --
+// followed by the plane's columns verbatim and the epoch version. The raw
+// arena matters: WAL deltas address nodes by NodeId, and fresh inserts take
+// ids at the arena END, so replay after recovery is only correct if the
+// loaded tree is id-for-id identical to the one the deltas were recorded
+// against (see the determinism notes in tree.h / tree_delta.h).
+//
+// Snapshots are written via temp file + fsync + atomic rename (fs.h), so a
+// crash mid-write leaves at most an orphaned *.tmp; the manifest (same
+// framing, magic 'SMQM') is renamed into place only after its snapshot is
+// durable. Readers verify length and CRC before decoding and the decoders
+// bounds-check every field, so corrupt input of ANY shape yields a Status,
+// never UB -- the corruption-fuzz suite drives these paths directly.
+
+#ifndef SMOQE_STORAGE_SNAPSHOT_H_
+#define SMOQE_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/doc_plane.h"
+#include "xml/tree.h"
+
+namespace smoqe::storage {
+
+inline constexpr char kManifestName[] = "MANIFEST";
+inline constexpr char kWalName[] = "wal.log";
+
+/// "snapshot-<zero-padded version>.snap" (lexicographic == numeric order).
+std::string SnapshotFileName(uint64_t version);
+
+/// A decoded snapshot: a mutable tree (recovery replays the WAL onto it)
+/// with its plane and version.
+struct DecodedSnapshot {
+  xml::Tree tree;
+  xml::DocPlane plane;
+  uint64_t version = 0;
+};
+
+/// Serializes the epoch into the framed + checksummed file bytes.
+std::string EncodeSnapshotFile(const xml::Tree& tree,
+                               const xml::DocPlane& plane, uint64_t version);
+
+/// Verifies framing + CRC and decodes. Safe on arbitrary bytes.
+StatusOr<DecodedSnapshot> DecodeSnapshotFile(std::string_view bytes);
+
+/// Writes the snapshot atomically into `dir` and re-points the manifest.
+/// Instrumented with the kSnapshotWrite / kSnapshotRename fault sites.
+Status WriteSnapshot(const std::string& dir, const xml::Tree& tree,
+                     const xml::DocPlane& plane, uint64_t version);
+
+StatusOr<DecodedSnapshot> ReadSnapshotFile(const std::string& path);
+
+struct Manifest {
+  uint64_t version = 0;
+  std::string snapshot_file;
+};
+
+Status WriteManifest(const std::string& dir, const Manifest& manifest);
+StatusOr<Manifest> ReadManifest(const std::string& dir);
+
+/// (version, filename) of every well-named snapshot in `dir`, newest first.
+StatusOr<std::vector<std::pair<uint64_t, std::string>>> ListSnapshots(
+    const std::string& dir);
+
+}  // namespace smoqe::storage
+
+#endif  // SMOQE_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,176 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/codec.h"
+#include "common/fault_injection.h"
+#include "storage/crc32c.h"
+#include "storage/fs.h"
+
+namespace smoqe::storage {
+
+namespace {
+
+constexpr size_t kRecordHeader = 16;  // from_version u64, len u32, crc u32
+constexpr uint32_t kMaxRecordPayload = 1u << 30;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Unavailable(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, size_t n, const char* what) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string(what) + ": " +
+                                 std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                     uint64_t offset) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", path);
+  // Drop any bytes past the validated end (an untrimmed torn tail) so the
+  // next Append lands on the valid prefix instead of after garbage.
+  if (::ftruncate(fd, static_cast<off_t>(offset)) != 0 ||
+      ::lseek(fd, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    Status s = Errno("truncate", path);
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, offset));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Append(const xml::TreeDelta& delta) {
+  std::string record;
+  common::PutU64(&record, delta.from_version());
+  std::string payload;
+  delta.Serialize(&payload);
+  if (payload.size() > kMaxRecordPayload) {
+    return Status::InvalidArgument("delta payload exceeds record limit");
+  }
+  common::PutU32(&record, static_cast<uint32_t>(payload.size()));
+  // CRC over header-sans-crc + payload (see the design note): record[0..12)
+  // is from_version + payload_len at this point.
+  uint32_t crc = Crc32cExtend(0, record.data(), record.size());
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  common::PutU32(&record, crc);
+  record += payload;
+
+  has_last_record_ = false;
+  size_t keep = 0;
+  Status injected = FaultHitWrite(FaultSite::kWalAppend, record.size(), &keep);
+  if (!injected.ok()) {
+    // Simulated crash mid-append: exactly `keep` bytes of the record reach
+    // the file (0 for a plain injected error). The writer is now positioned
+    // inside a torn record -- the caller must wedge and recover from disk.
+    (void)WriteAll(fd_, record.data(), keep, "wal write");
+    offset_ += keep;
+    return injected;
+  }
+  SMOQE_RETURN_IF_ERROR(WriteAll(fd_, record.data(), record.size(),
+                                 "wal write"));
+  last_record_offset_ = offset_;
+  has_last_record_ = true;
+  offset_ += record.size();
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  SMOQE_FAULT_RETURN_IF_INJECTED(FaultSite::kWalFsync);
+  if (::fsync(fd_) != 0) {
+    return Status::Unavailable(std::string("wal fsync: ") +
+                               std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::TruncateLastRecord() {
+  if (!has_last_record_) {
+    return Status::FailedPrecondition("no record to roll back");
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(last_record_offset_)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(last_record_offset_), SEEK_SET) < 0 ||
+      ::fsync(fd_) != 0) {
+    return Status::Unavailable(std::string("wal rollback: ") +
+                               std::strerror(errno));
+  }
+  offset_ = last_record_offset_;
+  has_last_record_ = false;
+  return Status::OK();
+}
+
+StatusOr<WalScan> ScanWal(const std::string& path) {
+  WalScan scan;
+  auto bytes_or = ReadFile(path);
+  if (!bytes_or.ok()) {
+    if (bytes_or.status().code() == StatusCode::kNotFound) {
+      return scan;  // never-written log: empty and valid
+    }
+    return bytes_or.status();
+  }
+  const std::string& bytes = bytes_or.value();
+  scan.file_size = bytes.size();
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kRecordHeader) {
+      scan.tail_reason = "torn record header";
+      break;
+    }
+    common::Cursor cur(bytes.data() + pos, kRecordHeader);
+    uint64_t from_version = 0;
+    uint32_t payload_len = 0, crc = 0;
+    cur.ReadU64(&from_version);
+    cur.ReadU32(&payload_len);
+    cur.ReadU32(&crc);
+    if (payload_len > kMaxRecordPayload ||
+        bytes.size() - pos - kRecordHeader < payload_len) {
+      scan.tail_reason = "record length exceeds file";
+      break;
+    }
+    uint32_t want = Crc32cExtend(0, bytes.data() + pos, 12);
+    want = Crc32cExtend(want, bytes.data() + pos + kRecordHeader, payload_len);
+    if (want != crc) {
+      scan.tail_reason = "record checksum mismatch";
+      break;
+    }
+    WalRecord record;
+    record.from_version = from_version;
+    record.offset = pos;
+    record.payload.assign(bytes, pos + kRecordHeader, payload_len);
+    scan.records.push_back(std::move(record));
+    pos += kRecordHeader + payload_len;
+  }
+  scan.valid_end = pos;
+  return scan;
+}
+
+Status TruncateWal(const std::string& path, uint64_t offset) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return Errno("open", path);
+  Status s = Status::OK();
+  if (::ftruncate(fd, static_cast<off_t>(offset)) != 0 ||
+      ::fsync(fd) != 0) {
+    s = Errno("truncate", path);
+  }
+  ::close(fd);
+  return s;
+}
+
+}  // namespace smoqe::storage

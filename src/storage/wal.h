@@ -1,0 +1,116 @@
+// Write-ahead delta log: the durability half of the epoch discipline.
+//
+// DESIGN NOTE (durable state is never behind published state)
+// -----------------------------------------------------------
+// xml::EpochPublisher keeps its version chain in memory; the WAL extends it
+// to disk with the same Pacemaker-CIB patch discipline. Every record is one
+// serialized xml::TreeDelta (tree_delta.h wire form) framed as
+//
+//   [from_version u64] [payload_len u32] [crc32c u32] [payload]
+//
+// where the CRC covers from_version, payload_len AND the payload, so a bit
+// flip anywhere in the record -- header included -- is detected. Records
+// are strictly append-only and form a version chain: each record's
+// from_version equals the previous record's to_version, rooted at a
+// snapshot (snapshot.h).
+//
+// The ordering contract (DurableEpochStore::Apply enforces it):
+//
+//   serialize -> Append -> Sync (fsync) -> EpochPublisher::Apply -> ack
+//
+// i.e. a delta is fsync'd BEFORE it publishes. A crash between fsync and
+// publish leaves the log one record AHEAD of what readers ever saw --
+// recovery replays it (redo), which is correct: durable state may run ahead
+// of published state, never behind. The converse hole -- a record for a
+// delta that FAILED to publish while the process lives on -- is closed by
+// TruncateLastRecord: the store rolls the log back so no durable record
+// exists for an unpublished version (asserted by the WAL/publisher
+// interaction tests).
+//
+// Torn tails are the normal crash shape, not an error: ScanWal stops at the
+// first record whose length or CRC does not verify and reports the byte
+// offset of the valid prefix; storage::Recover truncates the file there and
+// resumes appending. Fault sites kWalAppend (torn-write capable: a prefix
+// of the record persists, then the store fails like a crashed process
+// would) and kWalFsync make every one of these paths deterministically
+// reachable in the chaos suite.
+
+#ifndef SMOQE_STORAGE_WAL_H_
+#define SMOQE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/tree_delta.h"
+
+namespace smoqe::storage {
+
+/// Single-writer appender over one log file. Not thread-safe; the store
+/// serializes writes exactly like the publisher serializes Apply.
+class WalWriter {
+ public:
+  /// Opens (creating if missing) for appending at `offset` -- the validated
+  /// end of the log, i.e. ScanWal().valid_end after recovery, 0 for a fresh
+  /// log. Bytes past `offset` (a torn tail Recover has not trimmed yet) are
+  /// dropped by an immediate truncate.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                   uint64_t offset);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record (no fsync; see Sync). On an injected torn write a
+  /// PREFIX of the record persists and the writer is left positioned at the
+  /// tear -- callers must treat any Append failure as fatal for this writer
+  /// (the store wedges; recovery re-opens from disk).
+  Status Append(const xml::TreeDelta& delta);
+
+  /// fsyncs everything appended so far (the pre-publish barrier).
+  Status Sync();
+
+  /// Rolls back the most recent successful Append (ftruncate + fsync):
+  /// closes the failed-publish hole in the design note. Valid once per
+  /// Append.
+  Status TruncateLastRecord();
+
+  uint64_t offset() const { return offset_; }
+
+ private:
+  WalWriter(int fd, uint64_t offset) : fd_(fd), offset_(offset) {}
+
+  int fd_;
+  uint64_t offset_;
+  uint64_t last_record_offset_ = 0;  // valid when has_last_record_
+  bool has_last_record_ = false;
+};
+
+struct WalRecord {
+  uint64_t from_version = 0;
+  uint64_t offset = 0;  // byte offset of the record header in the file
+  std::string payload;  // serialized TreeDelta
+};
+
+/// One pass over the log: the records of the longest valid prefix, where
+/// the prefix ends (valid_end), and why (tail_reason when a torn/corrupt
+/// tail follows). A missing file scans as empty -- a store that never
+/// appended is a valid store.
+struct WalScan {
+  std::vector<WalRecord> records;
+  uint64_t valid_end = 0;
+  uint64_t file_size = 0;
+  std::string tail_reason;  // empty when the whole file verified
+  bool tail_corrupt() const { return valid_end != file_size; }
+};
+
+StatusOr<WalScan> ScanWal(const std::string& path);
+
+/// Truncates the log to `offset` and fsyncs (Recover's tail repair).
+Status TruncateWal(const std::string& path, uint64_t offset);
+
+}  // namespace smoqe::storage
+
+#endif  // SMOQE_STORAGE_WAL_H_

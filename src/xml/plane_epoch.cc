@@ -13,6 +13,14 @@ EpochPublisher::EpochPublisher(Tree initial) {
   epoch_.version = 0;
 }
 
+EpochPublisher::EpochPublisher(Tree initial, DocPlane plane,
+                               uint64_t version) {
+  live_ = std::make_shared<Tree>(std::move(initial));
+  epoch_.tree = live_;
+  epoch_.plane = std::make_shared<DocPlane>(std::move(plane));
+  epoch_.version = version;
+}
+
 PlaneEpoch EpochPublisher::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return epoch_;

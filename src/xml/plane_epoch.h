@@ -65,6 +65,12 @@ class EpochPublisher {
   /// plane.
   explicit EpochPublisher(Tree initial);
 
+  /// Resumes publishing from a recovered epoch: takes ownership of the
+  /// tree AND its already-built plane at `version` (storage::Recover hands
+  /// these back; rebuilding the plane here would double the recovery cost).
+  /// `plane` must mirror `tree` exactly.
+  EpochPublisher(Tree initial, DocPlane plane, uint64_t version);
+
   /// Pins the current epoch. Wait-free for practical purposes (a mutex'd
   /// pair of refcount bumps); never blocks on a concurrent Apply's heavy
   /// work.

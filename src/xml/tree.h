@@ -133,6 +133,12 @@ class Tree {
   NodeId Append(NodeId parent, Node node);
   NodeId InsertBefore(NodeId parent, NodeId before, Node node);
 
+  // Storage-layer snapshot codec (storage/snapshot.cc). It needs bit-exact
+  // access to the raw arena -- detached slots included -- because WAL
+  // deltas address nodes by NodeId: a recovered tree must reproduce the
+  // arena layout exactly for replay to target the same slots.
+  friend struct TreeCodec;
+
   NameTable labels_;
   std::vector<Node> nodes_;
   std::vector<std::string> texts_;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/codec.h"
+
 namespace smoqe::xml {
 
 namespace {
@@ -262,6 +264,81 @@ StatusOr<TreeDelta> TreeDelta::Compose(const TreeDelta& first,
   out.ops_ = first.ops_;
   out.ops_.insert(out.ops_.end(), second.ops_.begin(), second.ops_.end());
   return out;
+}
+
+void TreeDelta::Serialize(std::string* out) const {
+  common::PutU64(out, from_version_);
+  common::PutU64(out, to_version_);
+  common::PutU32(out, static_cast<uint32_t>(ops_.size()));
+  for (const DeltaOp& op : ops_) {
+    common::PutU8(out, static_cast<uint8_t>(op.kind));
+    common::PutI32(out, op.target);
+    common::PutI32(out, op.before_index);
+    common::PutBytes(out, op.label);
+    common::PutU32(out, static_cast<uint32_t>(op.fragment.items.size()));
+    for (const Fragment::Item& item : op.fragment.items) {
+      common::PutU8(out, item.is_text ? 1 : 0);
+      common::PutI32(out, item.parent);
+      common::PutBytes(out, item.value);
+    }
+  }
+}
+
+StatusOr<TreeDelta> TreeDelta::Deserialize(std::string_view bytes) {
+  common::Cursor cur(bytes);
+  TreeDelta delta;
+  uint32_t op_count = 0;
+  if (!cur.ReadU64(&delta.from_version_) || !cur.ReadU64(&delta.to_version_) ||
+      !cur.ReadU32(&op_count)) {
+    return Status::ParseError("delta: truncated header");
+  }
+  // Each op encodes to >= 13 bytes, so a count the remaining input cannot
+  // hold is corruption -- reject before reserving.
+  if (op_count > cur.remaining() / 13) {
+    return Status::ParseError("delta: op count exceeds payload");
+  }
+  delta.ops_.reserve(op_count);
+  for (uint32_t i = 0; i < op_count; ++i) {
+    DeltaOp op;
+    uint8_t kind = 0;
+    uint32_t item_count = 0;
+    if (!cur.ReadU8(&kind) || !cur.ReadI32(&op.target) ||
+        !cur.ReadI32(&op.before_index) || !cur.ReadBytes(&op.label) ||
+        !cur.ReadU32(&item_count)) {
+      return Status::ParseError("delta: truncated op");
+    }
+    if (kind > static_cast<uint8_t>(DeltaOpKind::kRelabel)) {
+      return Status::ParseError("delta: unknown op kind");
+    }
+    op.kind = static_cast<DeltaOpKind>(kind);
+    if (item_count > cur.remaining() / 9) {  // items are >= 9 bytes
+      return Status::ParseError("delta: item count exceeds payload");
+    }
+    op.fragment.items.reserve(item_count);
+    for (uint32_t j = 0; j < item_count; ++j) {
+      Fragment::Item item;
+      uint8_t is_text = 0;
+      if (!cur.ReadU8(&is_text) || !cur.ReadI32(&item.parent) ||
+          !cur.ReadBytes(&item.value)) {
+        return Status::ParseError("delta: truncated fragment item");
+      }
+      // Preorder parent links: the root at -1, every other item pointing at
+      // an EARLIER item (Instantiate indexes items by these).
+      const bool valid_parent =
+          (j == 0 && item.parent == -1) ||
+          (j > 0 && item.parent >= 0 && static_cast<uint32_t>(item.parent) < j);
+      if (!valid_parent || (j == 0 && is_text != 0)) {
+        return Status::ParseError("delta: malformed fragment structure");
+      }
+      item.is_text = is_text != 0;
+      op.fragment.items.push_back(std::move(item));
+    }
+    delta.ops_.push_back(std::move(op));
+  }
+  if (cur.remaining() != 0) {
+    return Status::ParseError("delta: trailing bytes");
+  }
+  return delta;
 }
 
 bool StructurallyEqual(const Tree& a, const Tree& b) {

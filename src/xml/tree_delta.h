@@ -130,6 +130,17 @@ class TreeDelta {
   static StatusOr<TreeDelta> Compose(const TreeDelta& first,
                                      const TreeDelta& second);
 
+  /// Appends the binary wire form (the WAL record payload -- see
+  /// storage/wal.h): versions, then each op with its fragment,
+  /// little-endian with length-prefixed strings (common/codec.h).
+  void Serialize(std::string* out) const;
+
+  /// Decodes a Serialize'd delta. Memory-safe on ANY input: corrupt bytes
+  /// (truncation, bit flips) yield a Status error, never UB -- the
+  /// corruption-fuzz suite drives this directly. Semantic validation
+  /// against a concrete tree stays in ApplyTo.
+  static StatusOr<TreeDelta> Deserialize(std::string_view bytes);
+
  private:
   uint64_t from_version_ = 0;
   uint64_t to_version_ = 1;

@@ -462,5 +462,126 @@ TEST(QueryServiceTest, BatchSizeZeroIsClampedNotSpun) {
   EXPECT_EQ(answer.value(), SoloAnswer(tree, "//diagnosis"));
 }
 
+// The min-deadline retry loop is now BOUNDED (PR 9 satellite): a survivor
+// of an aborted evaluation round burns one unit of its
+// SubmitOptions::max_retries budget per re-evaluation, is counted in
+// stats().queries_retried, and past the budget resolves kUnavailable
+// ("safe to resubmit") instead of riding the dispatcher forever. The abort
+// trigger here is a sibling's mid-evaluation cancellation, with an injected
+// per-shard-unit delay stretching the evaluation so the cancel reliably
+// lands mid-flight. Timing can still race on a loaded machine, so each
+// attempt asserts only interleaving-proof invariants and the test loops
+// until the retry path was provably taken.
+TEST(QueryServiceTest, SurvivorOfAbortedRoundBurnsRetryBudget) {
+#ifndef SMOQE_FAULT_INJECTION
+  GTEST_SKIP() << "needs the injected shard-unit delay for a reliable "
+                  "mid-evaluation abort";
+#else
+  xml::Tree tree = Hospital(12, 101);
+  const std::string q = "department/patient/pname";
+  const auto solo = SoloAnswer(tree, q);
+  auto& fi = FaultInjector::Global();
+  fi.Arm(0xB0DCE7);
+  fi.SetPlan(FaultSite::kShardUnit,
+             {FaultKind::kDelay, /*one_in=*/1, std::chrono::milliseconds(1)});
+  bool saw_retry = false;
+  for (int attempt = 0; attempt < 20 && !saw_retry; ++attempt) {
+    QueryServiceOptions options;
+    options.num_threads = 2;
+    options.max_batch = 64;
+    options.max_delay = std::chrono::milliseconds(5);  // coalesce the pair
+    QueryService service(tree, options);
+    CancelToken token;
+    SubmitOptions doomed;
+    doomed.cancel = &token;
+    auto doomed_future = service.Submit("//diagnosis", doomed);
+    auto healthy_future = service.Submit(q);
+    std::this_thread::sleep_for(std::chrono::milliseconds(8));
+    token.Cancel();
+
+    // Interleaving-proof: the healthy member always gets the right answer,
+    // the cancelled member never gets a WRONG one.
+    auto healthy = healthy_future.get();
+    ASSERT_TRUE(healthy.ok()) << healthy.status().message();
+    EXPECT_EQ(healthy.value(), solo);
+    auto cancelled = doomed_future.get();
+    if (!cancelled.ok()) {
+      EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+    }
+    auto stats = service.stats();
+    if (stats.queries_retried >= 1) {
+      saw_retry = true;  // the healthy member survived an aborted round
+      EXPECT_EQ(stats.retries_exhausted, 0);  // default budget is 16
+    }
+  }
+  fi.Disarm();
+  EXPECT_TRUE(saw_retry)
+      << "no attempt aborted mid-evaluation; retry path never exercised";
+#endif
+}
+
+TEST(QueryServiceTest, ExhaustedRetryBudgetResolvesUnavailable) {
+#ifndef SMOQE_FAULT_INJECTION
+  GTEST_SKIP() << "needs the injected shard-unit delay for a reliable "
+                  "mid-evaluation abort";
+#else
+  xml::Tree tree = Hospital(12, 103);
+  const std::string q = "department/patient/pname";
+  const auto solo = SoloAnswer(tree, q);
+  auto& fi = FaultInjector::Global();
+  fi.Arm(0xE4A057);
+  fi.SetPlan(FaultSite::kShardUnit,
+             {FaultKind::kDelay, /*one_in=*/1, std::chrono::milliseconds(1)});
+  bool saw_exhaustion = false;
+  for (int attempt = 0; attempt < 20 && !saw_exhaustion; ++attempt) {
+    QueryServiceOptions options;
+    options.num_threads = 2;
+    options.max_batch = 64;
+    options.max_delay = std::chrono::milliseconds(5);
+    QueryService service(tree, options);
+    CancelToken token;
+    SubmitOptions doomed;
+    doomed.cancel = &token;
+    SubmitOptions no_budget;
+    no_budget.max_retries = 0;  // any aborted round exhausts immediately
+    auto doomed_future = service.Submit("//diagnosis", doomed);
+    auto broke_future = service.Submit(q, no_budget);
+    std::this_thread::sleep_for(std::chrono::milliseconds(8));
+    token.Cancel();
+
+    // With a zero budget the healthy member either finished before any
+    // abort (correct answer) or resolves kUnavailable -- never a wrong
+    // answer, never a hang.
+    auto broke = broke_future.get();
+    if (broke.ok()) {
+      EXPECT_EQ(broke.value(), solo);
+    } else {
+      ASSERT_EQ(broke.status().code(), StatusCode::kUnavailable);
+      EXPECT_NE(broke.status().message().find("retry budget exhausted"),
+                std::string::npos);
+      saw_exhaustion = true;
+      EXPECT_GE(service.stats().retries_exhausted, 1);
+      EXPECT_EQ(service.stats().queries_retried, 0);  // budget 0: none survive
+    }
+    (void)doomed_future.get();
+  }
+  fi.Disarm();
+  EXPECT_TRUE(saw_exhaustion)
+      << "no attempt aborted mid-evaluation; exhaustion path never exercised";
+#endif
+}
+
+// A negative max_retries is clamped to zero at Submit, not trusted.
+TEST(QueryServiceTest, NegativeRetryBudgetClampsToZero) {
+  xml::Tree tree = Hospital(5, 107);
+  QueryService service(tree, {.num_threads = 1});
+  SubmitOptions submit;
+  submit.max_retries = -7;
+  auto answer = service.Submit("//diagnosis", submit).get();
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value(), SoloAnswer(tree, "//diagnosis"));
+  EXPECT_EQ(service.stats().retries_exhausted, 0);
+}
+
 }  // namespace
 }  // namespace smoqe::exec
